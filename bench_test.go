@@ -1,0 +1,541 @@
+package tcsb_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices called out in DESIGN.md. Each
+// Fig/Table bench re-derives its experiment from a shared observation
+// campaign (built once); the heavy benches (world construction, crawling,
+// collection) build their own fixtures.
+//
+// Run everything:   go test -bench=. -benchmem .
+// One experiment:   go test -bench=BenchmarkFig8Resilience .
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tcsb/internal/core"
+	"tcsb/internal/counting"
+	"tcsb/internal/crawler"
+	"tcsb/internal/dht"
+	"tcsb/internal/graph"
+	"tcsb/internal/hydra"
+	"tcsb/internal/ids"
+	"tcsb/internal/indexer"
+	"tcsb/internal/netsim"
+	"tcsb/internal/node"
+	"tcsb/internal/scenario"
+	"tcsb/internal/simtest"
+)
+
+var (
+	benchOnce sync.Once
+	benchObs  *core.Observatory
+)
+
+// benchObservatory builds the shared campaign fixture once.
+func benchObservatory(b *testing.B) *core.Observatory {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := scenario.DefaultConfig().Scaled(0.25)
+		cfg.Seed = 21
+		rc := core.RunConfig{
+			Days:               4,
+			CrawlsPerDay:       2,
+			DailyCIDSample:     150,
+			GatewayProbeRounds: 12,
+			DNSLinkDomains:     250,
+			ENSNames:           200,
+		}
+		benchObs = core.Observe(cfg, rc)
+	})
+	return benchObs
+}
+
+// --- Tables and figures ---
+
+func BenchmarkTable1Counting(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := core.Table1()
+		if r.AN["DE"] != 0.5 {
+			b.Fatal("Table 1 regression")
+		}
+	}
+}
+
+func BenchmarkSection3CrawlDataset(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := o.Section3()
+		if s.Crawls == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+func BenchmarkFig3CloudStatus(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig3CloudStatus()
+	}
+}
+
+func BenchmarkFig4CumulativeCrawls(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig4Cumulative()
+	}
+}
+
+func BenchmarkFig5CloudProviders(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig5CloudProviders()
+	}
+}
+
+func BenchmarkFig6Geolocation(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig6Geolocation()
+	}
+}
+
+func BenchmarkFig7DegreeDistribution(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig7Degrees()
+	}
+}
+
+func BenchmarkFig8Resilience(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig8Resilience()
+	}
+}
+
+func BenchmarkTrafficMix(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Section5Mix()
+	}
+}
+
+func BenchmarkFig9Frequency(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig9Frequency()
+	}
+}
+
+func BenchmarkFig10PeerPareto(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = o.Fig10PeerPareto()
+	}
+}
+
+func BenchmarkFig11IPPareto(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = o.Fig11IPPareto()
+	}
+}
+
+func BenchmarkFig12CloudPerTrafficType(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig12CloudPerTrafficType()
+	}
+}
+
+func BenchmarkFig13Platforms(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig13Platforms()
+	}
+}
+
+func BenchmarkFig14ProviderClass(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = o.Fig14ProviderClass()
+	}
+}
+
+func BenchmarkFig15ProviderPopularity(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = o.Fig15ProviderPopularity()
+	}
+}
+
+func BenchmarkFig16ContentCloud(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig16ContentCloud()
+	}
+}
+
+func BenchmarkFig17DNSLink(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig17DNSLink()
+	}
+}
+
+func BenchmarkFig18GatewayProviders(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig18GatewayProviders()
+	}
+}
+
+func BenchmarkFig19GatewayGeo(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig19GatewayGeo()
+	}
+}
+
+func BenchmarkFig20ENS(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.Fig20ENS()
+	}
+}
+
+// --- Heavy pipeline benches ---
+
+func BenchmarkCrawlDataset(b *testing.B) {
+	net := simtest.BuildServers(1000)
+	seeds := net.Seeds(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := crawler.Crawl(net.Network, crawler.Config{
+			ID: i, CrawlerID: ids.PeerIDFromSeed(1 << 60),
+		}, seeds)
+		if snap.Discovered() == 0 {
+			b.Fatal("empty crawl")
+		}
+	}
+}
+
+func BenchmarkWorldDay(b *testing.B) {
+	cfg := scenario.DefaultConfig().Scaled(0.1)
+	cfg.Seed = 31
+	w := scenario.NewWorld(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.StepTick()
+	}
+}
+
+// --- Ablations (DESIGN.md: design choices worth measuring) ---
+
+// BenchmarkAblationCounting compares the two counting methodologies on an
+// identical crawl dataset: A-N does strictly more grouping work, which is
+// the price of churn-corrected estimates.
+func BenchmarkAblationCounting(b *testing.B) {
+	o := benchObservatory(b)
+	d := counting.FromSeries(&o.Crawls)
+	attr := o.World.CloudAttr()
+	b.Run("G-IP", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = d.GIP(attr)
+		}
+	})
+	b.Run("A-N", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = d.AN(attr, counting.MajorityVote)
+		}
+	})
+}
+
+// BenchmarkAblationCrawlTimeout contrasts crawl cost under short vs long
+// connection timeouts in a churned network: long timeouts (the paper's 3
+// minutes) buy completeness at the price of the modeled wait the paper
+// describes ("the latter half is typically spent waiting").
+func BenchmarkAblationCrawlTimeout(b *testing.B) {
+	net := simtest.BuildServers(600)
+	for i := 0; i < 200; i++ {
+		net.Network.SetOnline(net.Nodes[i*3].ID(), false)
+	}
+	seeds := []netsim.PeerInfo{net.Network.Info(net.Nodes[1].ID()), net.Network.Info(net.Nodes[4].ID())}
+	for _, tc := range []struct {
+		name    string
+		timeout float64
+	}{{"timeout3s", 3}, {"timeout180s", 180}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var wait float64
+			for i := 0; i < b.N; i++ {
+				snap := crawler.Crawl(net.Network, crawler.Config{
+					ID: i, CrawlerID: ids.PeerIDFromSeed(1 << 59),
+					ConnTimeoutSec: tc.timeout,
+				}, seeds)
+				wait += snap.ModeledWaitSec
+			}
+			b.ReportMetric(wait/float64(b.N), "modeled-wait-s")
+		})
+	}
+}
+
+// BenchmarkAblationFindProviders compares the standard (stop at 20) and
+// exhaustive (query all resolvers) FindProviders for a popular CID — the
+// overhead the paper's ethics appendix quantifies.
+func BenchmarkAblationFindProviders(b *testing.B) {
+	net := simtest.BuildServers(500)
+	c := ids.CIDFromSeed(77)
+	for i := 0; i < 40; i++ {
+		net.Nodes[i].AddBlock(c)
+		net.Nodes[i].Provide(c)
+	}
+	requester := net.Nodes[450]
+	b.Run("standard", func(b *testing.B) {
+		b.ReportAllocs()
+		var queried int
+		for i := 0; i < b.N; i++ {
+			_, st := requester.FindProviders(c, dht.FindProvidersOpts{})
+			queried += st.Queried
+		}
+		b.ReportMetric(float64(queried)/float64(b.N), "peers-queried")
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
+		var queried int
+		for i := 0; i < b.N; i++ {
+			_, st := requester.FindProviders(c, dht.FindProvidersOpts{Exhaustive: true})
+			queried += st.Queried
+		}
+		b.ReportMetric(float64(queried)/float64(b.N), "peers-queried")
+	})
+}
+
+// BenchmarkAblationHydraCache measures the proactive-lookup amplification
+// (the paper's DoS observation): RPCs generated per unresolvable
+// GetProviders request, with and without proactive lookups.
+func BenchmarkAblationHydraCache(b *testing.B) {
+	for _, proactive := range []bool{false, true} {
+		name := "proactive-off"
+		if proactive {
+			name = "proactive-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			net := simtest.BuildServers(400)
+			h := hydra.New(net.Network, 1<<50, hydra.Config{Heads: 5, ProactiveLookups: proactive})
+			for _, head := range h.Heads() {
+				net.Network.Attach(head, h, netsim.HostConfig{Reachable: true})
+			}
+			var seeds []netsim.PeerInfo
+			for _, nd := range net.Nodes {
+				seeds = append(seeds, net.Network.Info(nd.ID()))
+			}
+			h.Bootstrap(seeds)
+			head := h.Heads()[0]
+			caller := net.Nodes[0].ID()
+			b.ReportAllocs()
+			b.ResetTimer()
+			before := net.Network.TotalMessages()
+			for i := 0; i < b.N; i++ {
+				bogus := ids.CIDFromSeed(uint64(1<<40 + i))
+				_, _, _ = net.Network.GetProviders(caller, head, bogus)
+				h.ProcessPending(0)
+			}
+			amplification := float64(net.Network.TotalMessages()-before) / float64(b.N)
+			b.ReportMetric(amplification, "rpcs-per-request")
+		})
+	}
+}
+
+// BenchmarkAblationResolution compares Bitswap-first resolution (the IPFS
+// default) against DHT-only resolution for popular content: the 1-hop
+// broadcast short-circuits the walk when a neighbour has the block.
+func BenchmarkAblationResolution(b *testing.B) {
+	net := simtest.BuildServers(500)
+	c := ids.CIDFromSeed(5)
+	holder := net.Nodes[3]
+	holder.AddBlock(c)
+	holder.Provide(c)
+	requester := net.Nodes[400]
+	requester.ConnectBitswap(holder.ID())
+	b.Run("bitswap-first", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			requester.RemoveBlock(c)
+			res := requester.Retrieve(c, false)
+			if !res.Found {
+				b.Fatal("retrieval failed")
+			}
+		}
+	})
+	b.Run("dht-only", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			recs, _ := requester.FindProviders(c, dht.FindProvidersOpts{})
+			if len(recs) == 0 {
+				b.Fatal("resolution failed")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTopologyFill compares protocol-accurate joins
+// (bootstrap walk + bucket refreshes) with the oracle fill used for large
+// scenarios.
+func BenchmarkAblationTopologyFill(b *testing.B) {
+	b.Run("oracle-fill", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = simtest.BuildServers(300)
+		}
+	})
+	b.Run("bootstrap-walks", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net := simtest.BuildServers(300)
+			// One additional node joins the protocol-accurate way.
+			nd := newJoiner(net, uint64(1<<45+i))
+			nd.Bootstrap([]netsim.PeerInfo{net.Network.Info(net.Nodes[0].ID())})
+			nd.RefreshBuckets(8)
+		}
+	})
+}
+
+// BenchmarkRemovalOrders compares random and targeted removal-order
+// computation on a crawled topology (the Fig. 8 inner loops).
+func BenchmarkRemovalOrders(b *testing.B) {
+	net := simtest.BuildServers(600)
+	snap := crawler.Crawl(net.Network, crawler.Config{ID: 1, CrawlerID: ids.PeerIDFromSeed(1 << 60)}, net.Seeds(2))
+	g := graph.FromSnapshot(snap)
+	adj := g.Undirected()
+	rng := rand.New(rand.NewSource(1))
+	b.Run("random", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			order := graph.RandomOrder(g.N(), rng)
+			_ = graph.RemovalCurve(adj, order)
+		}
+	})
+	b.Run("targeted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			order := graph.TargetedOrder(adj)
+			_ = graph.RemovalCurve(adj, order)
+		}
+	})
+}
+
+// newJoiner creates a fresh DHT server node attached to the fixture
+// network, for join-cost measurements.
+func newJoiner(net *simtest.Net, seed uint64) *node.Node {
+	id := ids.PeerIDFromSeed(seed)
+	nd := node.New(id, net.Network, node.Config{DHTServer: true})
+	net.Network.Attach(id, nd, netsim.HostConfig{Reachable: true})
+	return nd
+}
+
+// BenchmarkAblationIndexer quantifies the Section 9 trade-off: resolution
+// through a centralized network indexer (one lookup, zero overlay RPCs)
+// vs a DHT walk. The speed asymmetry is the centralization pressure the
+// paper warns about.
+func BenchmarkAblationIndexer(b *testing.B) {
+	net := simtest.BuildServers(500)
+	c := ids.CIDFromSeed(7)
+	provider := net.Nodes[3]
+	provider.AddBlock(c)
+	provider.Provide(c)
+	ix := indexer.New()
+	ix.Announce(net.Network.Info(provider.ID()), []ids.CID{c})
+	w := dht.NewWalker(net.Network, ids.PeerIDFromSeed(1<<50))
+	seeds := net.Seeds(4)
+
+	b.Run("indexer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if recs := ix.Resolve(c); len(recs) == 0 {
+				b.Fatal("resolution failed")
+			}
+		}
+	})
+	b.Run("dht-walk", func(b *testing.B) {
+		b.ReportAllocs()
+		var queried int
+		for i := 0; i < b.N; i++ {
+			recs, st := w.FindProviders(seeds, c, dht.FindProvidersOpts{})
+			if len(recs) == 0 {
+				b.Fatal("resolution failed")
+			}
+			queried += st.Queried
+		}
+		b.ReportMetric(float64(queried)/float64(b.N), "peers-queried")
+	})
+	b.Run("indexer-with-dht-fallback-blocked", func(b *testing.B) {
+		ix.Block(c)
+		defer ix.Unblock(c)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := indexer.ResolveWithFallback(ix, w, seeds, c)
+			if len(res.Records) == 0 || res.ViaIndexer {
+				b.Fatal("fallback failed")
+			}
+		}
+	})
+}
+
+// BenchmarkSectionChurn derives the §4 liveness evidence from the crawl
+// series.
+func BenchmarkSectionChurn(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.SectionChurn()
+	}
+}

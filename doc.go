@@ -1,0 +1,20 @@
+// Package tcsb is a from-scratch Go reproduction of "The Cloud Strikes
+// Back: Investigating the Decentralization of IPFS" (Balduf et al., IMC
+// 2023, arXiv:2309.16203).
+//
+// The repository contains a deterministic simulator of the IPFS network
+// (Kademlia DHT with server/client roles, Bitswap, circuit relays, HTTP
+// gateways, churn and IP rotation), offline substitutes for the study's
+// commercial data sources (cloud-IP and geolocation databases, DNS zone
+// data, passive DNS, Ethereum event logs), re-implementations of every
+// measurement tool the paper used (DHT crawler, Bitswap monitor, Hydra
+// booster, exhaustive provider-record collector, gateway prober, DNSLink
+// scanner, ENS extractor), and an experiment harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// substitution rationale, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each experiment:
+//
+//	go test -bench=Fig -benchmem .
+package tcsb

@@ -1,0 +1,67 @@
+// Trafficstudy: run the two monitoring vantage points of the paper — the
+// Bitswap monitor and the Hydra booster — on a busy simulated network,
+// then measure traffic centralization (Figs. 10-12) and the protocol mix
+// (Section 5).
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"tcsb/internal/report"
+	"tcsb/internal/scenario"
+	"tcsb/internal/trace"
+)
+
+func main() {
+	cfg := scenario.DefaultConfig().Scaled(0.25)
+	cfg.Seed = 7
+	w := scenario.NewWorld(cfg)
+
+	fmt.Println("simulating 3 days of traffic...")
+	w.RunDays(3, nil)
+
+	hydraLog := w.Hydra.Log()
+	bitswapLog := w.Monitor.Log()
+	fmt.Printf("hydra vantage: %d DHT messages; monitor: %d Bitswap broadcasts\n\n",
+		hydraLog.Len(), bitswapLog.Len())
+
+	// Section 5: protocol mix.
+	mix := hydraLog.Mix()
+	mt := &report.Table{Title: "DHT traffic mix (paper: 57/40/3)", Columns: []string{"class", "share"}}
+	for _, cl := range []trace.Class{trace.Download, trace.Advertise, trace.Other} {
+		mt.AddRow(cl.String(), report.Pct(mix[cl]))
+	}
+	fmt.Println(mt)
+
+	// Fig. 11: IP-level centralization with the cloud split.
+	cloudAttr := w.CloudAttr()
+	group := func(ip netip.Addr) string { return cloudAttr(ip) }
+	for _, v := range []struct {
+		name string
+		log  *trace.Log
+	}{{"DHT (hydra)", hydraLog}, {"Bitswap (monitor)", bitswapLog}} {
+		act := v.log.ActivityByIP()
+		t := &report.Table{
+			Title:   fmt.Sprintf("%s — IP centralization (paper Fig. 11)", v.name),
+			Columns: []string{"metric", "value"},
+		}
+		t.AddRow("top 5% of IPs' traffic share", report.Pct(trace.TopShare(act, 0.05)))
+		for g, s := range trace.GroupTrafficShare(act, group) {
+			t.AddRow("traffic share: "+g, report.Pct(s))
+		}
+		for g, s := range trace.GroupMemberShare(act, group) {
+			t.AddRow("IP share: "+g, report.Pct(s))
+		}
+		fmt.Println(t)
+	}
+
+	// Fig. 13: platform attribution via hydra head set + reverse DNS.
+	attr := func(e trace.Event) string { return w.PlatformOf(e) }
+	fmt.Println(report.SharesTable(
+		"Platforms, DHT download traffic (paper Fig. 13)", "platform",
+		hydraLog.Filter(func(e trace.Event) bool { return e.Class() == trace.Download }).GroupShare(attr)))
+	fmt.Println(report.SharesTable(
+		"Platforms, DHT advertise traffic (paper Fig. 13)", "platform",
+		hydraLog.Filter(func(e trace.Event) bool { return e.Class() == trace.Advertise }).GroupShare(attr)))
+}

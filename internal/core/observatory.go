@@ -1,0 +1,147 @@
+// Package core is the observatory facade: it wires the scenario world to
+// every measurement tool of the paper and exposes one function per table
+// and figure of the evaluation. Running the observatory produces the full
+// multi-modal dataset — crawl series, Bitswap monitor log, Hydra log,
+// provider-record collection, gateway census, DNSLink scan and ENS
+// extraction — from which the Fig*/Table* methods derive the paper's
+// results.
+package core
+
+import (
+	"math/rand"
+
+	"tcsb/internal/crawler"
+	"tcsb/internal/dnslink"
+	"tcsb/internal/ens"
+	"tcsb/internal/gwprobe"
+	"tcsb/internal/ids"
+	"tcsb/internal/monitor"
+	"tcsb/internal/netsim"
+	"tcsb/internal/provrecords"
+	"tcsb/internal/scenario"
+	"tcsb/internal/trace"
+)
+
+// RunConfig controls the observation campaign layered on a world.
+type RunConfig struct {
+	// Days of simulated time to observe (the paper: 38 days of crawls,
+	// 28 days of provider records, months of traffic; default 10).
+	Days int
+	// CrawlsPerDay is the DHT crawl frequency (the paper: ≥2/day).
+	CrawlsPerDay int
+	// DailyCIDSample is the daily sampled Bitswap CID count (200k in the
+	// paper; scaled down with the world).
+	DailyCIDSample int
+	// GatewayProbeRounds is how many HTTP probes to send per gateway.
+	GatewayProbeRounds int
+	// DNSLinkDomains / ENSNames size the entry-point populations.
+	DNSLinkDomains int
+	ENSNames       int
+}
+
+// DefaultRunConfig returns the laptop-scale campaign.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Days:               10,
+		CrawlsPerDay:       2,
+		DailyCIDSample:     250,
+		GatewayProbeRounds: 16,
+		DNSLinkDomains:     400,
+		ENSNames:           300,
+	}
+}
+
+// Observatory holds a world plus every dataset collected from it.
+type Observatory struct {
+	World *scenario.World
+	Run   RunConfig
+
+	// Crawls is the DHT snapshot series (Figs. 3–8).
+	Crawls crawler.Series
+	// Records is the provider-record collection (Figs. 14–16).
+	Records provrecords.Collection
+	// Census maps gateway domains to discovered overlay IDs.
+	Census map[string][]ids.PeerID
+	// GatewaySet flattens the census for the Fig. 10 split.
+	GatewaySet map[ids.PeerID]bool
+	// DNSLinkResults is the active scan output (Fig. 17).
+	DNSLinkResults []dnslink.Result
+	// ENSRecords is the extracted ipfs-ns record set (Fig. 20).
+	ENSRecords []ens.Record
+	// ENSProviders holds provider records resolved for ENS CIDs.
+	ENSProviders provrecords.Collection
+	// HydraLog is the vantage Hydra's request log with the observatory's
+	// own measurement traffic (crawler, record collector) filtered out,
+	// as the authors exclude their own tools from the analysis.
+	HydraLog *trace.Log
+}
+
+// Observe builds a world and runs the full observation campaign on it.
+func Observe(cfg scenario.Config, rc RunConfig) *Observatory {
+	w := scenario.NewWorld(cfg)
+	return ObserveWorld(w, rc)
+}
+
+// ObserveWorld runs the campaign on an existing world.
+func ObserveWorld(w *scenario.World, rc RunConfig) *Observatory {
+	o := &Observatory{World: w, Run: rc}
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0x0b5e7))
+
+	w.PopulateDNSLink(rc.DNSLinkDomains)
+	resolvers := w.PopulateENS(rc.ENSNames)
+
+	collector := provrecords.NewCollector(w.Net,
+		ids.PeerIDFromSeed(uint64(w.Cfg.Seed)<<48+0xc0113),
+		func(target ids.Key) []netsim.PeerInfo { return w.SeedsNear(target, 8) })
+
+	crawlID := 0
+	for day := 0; day < rc.Days; day++ {
+		// Spread crawls across the day's ticks.
+		interval := scenario.TicksPerDay / max(rc.CrawlsPerDay, 1)
+		for t := 0; t < scenario.TicksPerDay; t++ {
+			w.StepTick()
+			if rc.CrawlsPerDay > 0 && t%interval == interval-1 && crawlID < (day+1)*rc.CrawlsPerDay {
+				crawlID++
+				o.Crawls.Add(w.Crawl(crawlID))
+			}
+		}
+		// Daily sampled Bitswap CIDs → provider record collection, same
+		// day, as in the paper.
+		sample := monitor.DailySample(w.Monitor.Log(), int64(day), rc.DailyCIDSample, rng)
+		collector.CollectDay(&o.Records, sample, int64(day))
+	}
+
+	// Gateway identification probes via the monitor.
+	prober := gwprobe.New(w.Monitor, uint64(w.Cfg.Seed)<<32+0x9a7e)
+	o.Census = prober.Census(w.PublicGateways(), rc.GatewayProbeRounds)
+	o.GatewaySet = gwprobe.GatewayPeerSet(o.Census)
+
+	// DNSLink active scan over the simulated universe.
+	scanner := dnslink.NewScanner(w.DNS, w.GatewayDomains())
+	o.DNSLinkResults = scanner.Scan()
+
+	// ENS extraction + provider resolution for referenced CIDs.
+	o.ENSRecords = ens.Extract(resolvers)
+	seen := map[ids.CID]bool{}
+	for _, r := range o.ENSRecords {
+		if seen[r.CID] {
+			continue
+		}
+		seen[r.CID] = true
+		o.ENSProviders.PerCID = append(o.ENSProviders.PerCID,
+			collector.CollectOne(r.CID, int64(rc.Days)))
+	}
+	crawlerID := w.CrawlerID()
+	collectorID := w.CollectorID()
+	o.HydraLog = w.Hydra.Log().Filter(func(e trace.Event) bool {
+		return e.Peer != crawlerID && e.Peer != collectorID
+	})
+	return o
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,324 @@
+// Package crawler reimplements the DHT crawler of Henningsen et al. as
+// used by the paper (Section 3, "Topology graph"): it enumerates all
+// outgoing DHT connections of every reachable DHT server by sweeping each
+// node's k-buckets with crafted FindNode messages, producing a snapshot of
+// the DHT graph.
+//
+// A crawl starts from seed peers, breadth-first: every newly discovered
+// peer is dialled and, if connectable, swept. Peers that cannot be dialled
+// (offline bucket ghosts, or — impossible for servers but kept for
+// robustness — NAT-ed peers) are recorded as discovered-but-uncrawlable
+// leaves, matching the paper's distinction between the ~25.7k discovered
+// and ~18k crawlable peers per crawl.
+package crawler
+
+import (
+	"fmt"
+	"net/netip"
+
+	"tcsb/internal/ids"
+	"tcsb/internal/maddr"
+	"tcsb/internal/netsim"
+)
+
+// Config controls one crawl.
+type Config struct {
+	// ID tags the snapshot (crawl sequence number).
+	ID int
+	// CrawlerID is the overlay identity the crawler dials with.
+	CrawlerID ids.PeerID
+	// EmptySweeps is how many consecutive empty bucket sweeps end the
+	// per-peer enumeration (default 3).
+	EmptySweeps int
+	// MaxCPL bounds the bucket sweep depth (default 64: beyond ~log2(n)
+	// buckets are empty anyway; the stop rule usually fires much earlier).
+	MaxCPL int
+	// Workers models the crawler's dial concurrency for the duration
+	// estimate (default 1000, roughly the real tool's).
+	Workers int
+	// ConnTimeoutSec is the dial timeout applied to unresponsive peers in
+	// the duration model (default 180, the paper's 3-minute timeout).
+	ConnTimeoutSec float64
+	// RPCTimeSec is the modelled cost of one successful RPC (default 0.05).
+	RPCTimeSec float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EmptySweeps <= 0 {
+		c.EmptySweeps = 3
+	}
+	if c.MaxCPL <= 0 {
+		c.MaxCPL = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1000
+	}
+	if c.ConnTimeoutSec <= 0 {
+		c.ConnTimeoutSec = 180
+	}
+	if c.RPCTimeSec <= 0 {
+		c.RPCTimeSec = 0.05
+	}
+	return c
+}
+
+// Observation is what one crawl learned about one peer.
+type Observation struct {
+	Peer ids.PeerID
+	// Addrs are the multiaddrs other peers advertised for this peer.
+	Addrs []maddr.Addr
+	// Crawlable reports whether the peer answered the bucket sweep.
+	Crawlable bool
+	// DialError, when not crawlable, records why ("offline", …).
+	DialError string
+	// Contacts is the peer's enumerated outgoing DHT connections
+	// (only for crawlable peers).
+	Contacts []ids.PeerID
+	// SweepRPCs counts FindNode RPCs spent on this peer.
+	SweepRPCs int
+}
+
+// IPs returns the distinct non-local, non-circuit IPs the peer advertised.
+func (o *Observation) IPs() []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	var out []netip.Addr
+	for _, a := range o.Addrs {
+		if a.Circuit || !a.IP.IsValid() || a.IsLocal() {
+			continue
+		}
+		if !seen[a.IP] {
+			seen[a.IP] = true
+			out = append(out, a.IP)
+		}
+	}
+	return out
+}
+
+// Snapshot is the result of one crawl: the DHT graph at a point in time.
+type Snapshot struct {
+	ID    int
+	Start netsim.Time
+	// Peers maps every discovered peer to its observation.
+	Peers map[ids.PeerID]*Observation
+	// Order preserves discovery order for deterministic iteration.
+	Order []ids.PeerID
+	// RPCs is the total FindNode count spent.
+	RPCs int
+	// ModeledDurationSec estimates the wall-clock duration of this crawl
+	// under the configured worker pool and timeouts (the paper: ~5
+	// minutes, the latter half spent waiting on unresponsive peers).
+	ModeledDurationSec float64
+	// ModeledWaitSec is the part of the duration spent on dial timeouts.
+	ModeledWaitSec float64
+}
+
+// Discovered returns the number of peers seen (crawlable or not).
+func (s *Snapshot) Discovered() int { return len(s.Peers) }
+
+// Crawlable returns the number of peers that answered the sweep.
+func (s *Snapshot) Crawlable() int {
+	n := 0
+	for _, o := range s.Peers {
+		if o.Crawlable {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the observation for a peer, or nil.
+func (s *Snapshot) Get(p ids.PeerID) *Observation { return s.Peers[p] }
+
+// Crawl performs one full crawl of the network reachable from seeds.
+func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
+	cfg = cfg.withDefaults()
+	snap := &Snapshot{
+		ID:    cfg.ID,
+		Start: net.Clock.Now(),
+		Peers: make(map[ids.PeerID]*Observation),
+	}
+
+	var queue []ids.PeerID
+	enqueue := func(pi netsim.PeerInfo) {
+		if pi.ID.IsZero() || pi.ID == cfg.CrawlerID {
+			return
+		}
+		if o, ok := snap.Peers[pi.ID]; ok {
+			// Merge newly learned addresses.
+			o.Addrs = mergeAddrs(o.Addrs, pi.Addrs)
+			return
+		}
+		snap.Peers[pi.ID] = &Observation{Peer: pi.ID, Addrs: append([]maddr.Addr(nil), pi.Addrs...)}
+		snap.Order = append(snap.Order, pi.ID)
+		queue = append(queue, pi.ID)
+	}
+	for _, s := range seeds {
+		enqueue(s)
+	}
+
+	unresponsive := 0
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		o := snap.Peers[p]
+
+		contacts, rpcs, err := sweep(net, cfg, p, enqueue)
+		o.SweepRPCs = rpcs
+		snap.RPCs += rpcs
+		if err != nil {
+			o.Crawlable = false
+			o.DialError = err.Error()
+			unresponsive++
+			continue
+		}
+		o.Crawlable = true
+		o.Contacts = contacts
+	}
+
+	// Duration model: successful RPCs stream through the worker pool;
+	// every unresponsive peer pins a worker for the full dial timeout.
+	w := float64(cfg.Workers)
+	snap.ModeledWaitSec = float64(unresponsive) * cfg.ConnTimeoutSec / w
+	snap.ModeledDurationSec = float64(snap.RPCs)*cfg.RPCTimeSec/w + snap.ModeledWaitSec
+	return snap
+}
+
+// sweep enumerates one peer's buckets via FindNode messages crafted to
+// target every common-prefix length, stopping after cfg.EmptySweeps
+// consecutive sweeps that reveal nothing new.
+func sweep(net *netsim.Network, cfg Config, p ids.PeerID, learn func(netsim.PeerInfo)) ([]ids.PeerID, int, error) {
+	seen := make(map[ids.PeerID]bool)
+	var contacts []ids.PeerID
+	rpcs := 0
+	emptyRun := 0
+	for cpl := 0; cpl < cfg.MaxCPL && emptyRun < cfg.EmptySweeps; cpl++ {
+		// A target differing from p's key in exactly bit `cpl` lands in
+		// bucket cpl of p's table.
+		target := p.Key().FlipBit(cpl)
+		rpcs++
+		peers, err := net.FindNode(cfg.CrawlerID, p, target)
+		if err != nil {
+			return nil, rpcs, fmt.Errorf("dial %s: %w", p.Short(), err)
+		}
+		newPeers := 0
+		for _, pi := range peers {
+			learn(pi)
+			if pi.ID == p || seen[pi.ID] {
+				continue
+			}
+			seen[pi.ID] = true
+			contacts = append(contacts, pi.ID)
+			newPeers++
+		}
+		if newPeers == 0 {
+			emptyRun++
+		} else {
+			emptyRun = 0
+		}
+	}
+	return contacts, rpcs, nil
+}
+
+func mergeAddrs(dst, src []maddr.Addr) []maddr.Addr {
+	have := make(map[string]bool, len(dst))
+	for _, a := range dst {
+		have[a.String()] = true
+	}
+	for _, a := range src {
+		if s := a.String(); !have[s] {
+			have[s] = true
+			dst = append(dst, a)
+		}
+	}
+	return dst
+}
+
+// Series is an ordered collection of snapshots — the 101-crawl dataset of
+// the paper, ready for the counting methodologies.
+type Series struct {
+	Snapshots []*Snapshot
+}
+
+// Add appends a snapshot.
+func (s *Series) Add(snap *Snapshot) { s.Snapshots = append(s.Snapshots, snap) }
+
+// Len returns the number of crawls.
+func (s *Series) Len() int { return len(s.Snapshots) }
+
+// MeanDiscovered returns the average number of peers discovered per crawl
+// (the paper's 25,771.6).
+func (s *Series) MeanDiscovered() float64 {
+	if len(s.Snapshots) == 0 {
+		return 0
+	}
+	total := 0
+	for _, sn := range s.Snapshots {
+		total += sn.Discovered()
+	}
+	return float64(total) / float64(len(s.Snapshots))
+}
+
+// MeanCrawlable returns the average number of crawlable peers per crawl
+// (the paper's 17,991.4).
+func (s *Series) MeanCrawlable() float64 {
+	if len(s.Snapshots) == 0 {
+		return 0
+	}
+	total := 0
+	for _, sn := range s.Snapshots {
+		total += sn.Crawlable()
+	}
+	return float64(total) / float64(len(s.Snapshots))
+}
+
+// UniquePeers returns the number of distinct peer IDs across all crawls
+// (the paper's 53,898).
+func (s *Series) UniquePeers() int {
+	set := make(map[ids.PeerID]bool)
+	for _, sn := range s.Snapshots {
+		for p := range sn.Peers {
+			set[p] = true
+		}
+	}
+	return len(set)
+}
+
+// UniqueIPs returns the number of distinct non-local IPs across all
+// crawls (the paper's 86,064).
+func (s *Series) UniqueIPs() int {
+	set := make(map[netip.Addr]bool)
+	for _, sn := range s.Snapshots {
+		for _, o := range sn.Peers {
+			for _, ip := range o.IPs() {
+				set[ip] = true
+			}
+		}
+	}
+	return len(set)
+}
+
+// MeanIPsPerPeer returns the average number of distinct non-local IPs a
+// peer advertised across all crawls (the paper's 1.82).
+func (s *Series) MeanIPsPerPeer() float64 {
+	perPeer := make(map[ids.PeerID]map[netip.Addr]bool)
+	for _, sn := range s.Snapshots {
+		for p, o := range sn.Peers {
+			m := perPeer[p]
+			if m == nil {
+				m = make(map[netip.Addr]bool)
+				perPeer[p] = m
+			}
+			for _, ip := range o.IPs() {
+				m[ip] = true
+			}
+		}
+	}
+	if len(perPeer) == 0 {
+		return 0
+	}
+	total := 0
+	for _, m := range perPeer {
+		total += len(m)
+	}
+	return float64(total) / float64(len(perPeer))
+}

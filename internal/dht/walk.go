@@ -1,0 +1,245 @@
+// Package dht implements the client side of the IPFS Kademlia DHT: the
+// iterative lookup ("DHT walk") and the three operations built on it —
+// GetClosestPeers, Provide and FindProviders — exactly as described in
+// Section 2 of the paper.
+//
+// The walk repeatedly queries the closest known-but-unqueried peers for
+// contacts even closer to the target, terminating when the K closest
+// known peers have all been queried (no closer peers are being found).
+// FindProviders additionally asks each encountered node for provider
+// records; the standard variant terminates once K providers are known,
+// while the exhaustive variant (the paper's modified implementation used
+// to collect complete provider sets) always queries all resolvers.
+package dht
+
+import (
+	"sort"
+
+	"tcsb/internal/ids"
+	"tcsb/internal/kademlia"
+	"tcsb/internal/netsim"
+)
+
+// K is the lookup fan-out and resolver-set size (20 in IPFS: provider
+// records live on the 20 closest peers to the CID).
+const K = kademlia.K
+
+// Alpha is the lookup concurrency of go-libp2p-kad-dht. The simulator's
+// RPCs are synchronous so Alpha does not buy wall-clock parallelism, but
+// it still bounds how many peers are queried per round, which shapes the
+// query traffic the Hydra vantage point observes.
+const Alpha = 3
+
+// WalkStats summarises one walk for traffic accounting and the paper's
+// "an average DHT query contacts 50 different nodes" estimate.
+type WalkStats struct {
+	// Queried is the number of peers that were sent an RPC.
+	Queried int
+	// Failed is the number of dials that failed (offline/unreachable).
+	Failed int
+}
+
+// Walker performs DHT walks on behalf of one peer.
+type Walker struct {
+	net  *netsim.Network
+	self ids.PeerID
+}
+
+// NewWalker creates a walker acting as `self` on the given network.
+func NewWalker(net *netsim.Network, self ids.PeerID) *Walker {
+	return &Walker{net: net, self: self}
+}
+
+// candidateSet tracks walk state: all peers heard of, ordered by distance
+// to the target, with queried/failed marks.
+type candidateSet struct {
+	target  ids.Key
+	known   map[ids.PeerID]netsim.PeerInfo
+	queried map[ids.PeerID]bool
+	failed  map[ids.PeerID]bool
+	sorted  []ids.PeerID // kept sorted by distance to target
+}
+
+func newCandidateSet(target ids.Key) *candidateSet {
+	return &candidateSet{
+		target:  target,
+		known:   make(map[ids.PeerID]netsim.PeerInfo),
+		queried: make(map[ids.PeerID]bool),
+		failed:  make(map[ids.PeerID]bool),
+	}
+}
+
+func (cs *candidateSet) add(info netsim.PeerInfo) {
+	if info.ID.IsZero() {
+		return
+	}
+	if _, ok := cs.known[info.ID]; ok {
+		return
+	}
+	cs.known[info.ID] = info
+	// Insert maintaining distance order.
+	d := info.ID.Key().Xor(cs.target)
+	i := sort.Search(len(cs.sorted), func(i int) bool {
+		return cs.sorted[i].Key().Xor(cs.target).Cmp(d) > 0
+	})
+	cs.sorted = append(cs.sorted, ids.PeerID{})
+	copy(cs.sorted[i+1:], cs.sorted[i:])
+	cs.sorted[i] = info.ID
+}
+
+// nextBatch returns up to alpha unqueried peers among the closest
+// `horizon` candidates. An empty result means the walk has converged.
+func (cs *candidateSet) nextBatch(alpha, horizon int) []ids.PeerID {
+	var out []ids.PeerID
+	seen := 0
+	for _, p := range cs.sorted {
+		if cs.failed[p] {
+			continue
+		}
+		seen++
+		if seen > horizon {
+			break
+		}
+		if !cs.queried[p] {
+			out = append(out, p)
+			if len(out) == alpha {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// closest returns the n closest non-failed peers.
+func (cs *candidateSet) closest(n int) []netsim.PeerInfo {
+	out := make([]netsim.PeerInfo, 0, n)
+	for _, p := range cs.sorted {
+		if cs.failed[p] {
+			continue
+		}
+		out = append(out, cs.known[p])
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// GetClosestPeers walks the DHT from the seed peers toward target and
+// returns the K closest reachable peers found, in increasing distance
+// order.
+func (w *Walker) GetClosestPeers(seeds []netsim.PeerInfo, target ids.Key) ([]netsim.PeerInfo, WalkStats) {
+	cs := newCandidateSet(target)
+	for _, s := range seeds {
+		cs.add(s)
+	}
+	var stats WalkStats
+	for {
+		batch := cs.nextBatch(Alpha, K)
+		if len(batch) == 0 {
+			break
+		}
+		for _, p := range batch {
+			cs.queried[p] = true
+			stats.Queried++
+			peers, err := w.net.FindNode(w.self, p, target)
+			if err != nil {
+				cs.failed[p] = true
+				stats.Failed++
+				continue
+			}
+			for _, pi := range peers {
+				if pi.ID != w.self {
+					cs.add(pi)
+				}
+			}
+		}
+	}
+	return cs.closest(K), stats
+}
+
+// Provide advertises `self` (described by selfInfo, which may include
+// circuit addresses for NAT-ed providers) as a provider for c: it locates
+// the K closest peers to c's key and sends each a provider record. It
+// returns the resolvers that accepted the record.
+func (w *Walker) Provide(seeds []netsim.PeerInfo, c ids.CID, selfInfo netsim.PeerInfo) ([]ids.PeerID, WalkStats) {
+	resolvers, stats := w.GetClosestPeers(seeds, c.Key())
+	rec := netsim.ProviderRecord{Provider: selfInfo, Received: w.net.Clock.Now()}
+	var accepted []ids.PeerID
+	for _, r := range resolvers {
+		if err := w.net.AddProvider(w.self, r.ID, c, rec); err != nil {
+			stats.Failed++
+			continue
+		}
+		stats.Queried++
+		accepted = append(accepted, r.ID)
+	}
+	return accepted, stats
+}
+
+// FindProvidersOpts controls FindProviders termination.
+type FindProvidersOpts struct {
+	// Max is the provider count at which the standard walk stops
+	// (20 in IPFS). Ignored when Exhaustive.
+	Max int
+	// Exhaustive queries every resolver regardless of how many providers
+	// have been found — the paper's modified implementation (§3, Appendix
+	// A) used to collect complete provider sets.
+	Exhaustive bool
+}
+
+// FindProviders resolves c to provider records by walking the DHT toward
+// c's key, querying every encountered peer for provider records.
+func (w *Walker) FindProviders(seeds []netsim.PeerInfo, c ids.CID, opts FindProvidersOpts) ([]netsim.ProviderRecord, WalkStats) {
+	if opts.Max <= 0 {
+		opts.Max = K
+	}
+	target := c.Key()
+	cs := newCandidateSet(target)
+	for _, s := range seeds {
+		cs.add(s)
+	}
+	var stats WalkStats
+	providers := make(map[ids.PeerID]netsim.ProviderRecord)
+	done := func() bool {
+		return !opts.Exhaustive && len(providers) >= opts.Max
+	}
+	for !done() {
+		batch := cs.nextBatch(Alpha, K)
+		if len(batch) == 0 {
+			break
+		}
+		for _, p := range batch {
+			if done() {
+				break
+			}
+			cs.queried[p] = true
+			stats.Queried++
+			recs, closer, err := w.net.GetProviders(w.self, p, c)
+			if err != nil {
+				cs.failed[p] = true
+				stats.Failed++
+				continue
+			}
+			for _, r := range recs {
+				if _, ok := providers[r.Provider.ID]; !ok {
+					providers[r.Provider.ID] = r
+				}
+			}
+			for _, pi := range closer {
+				if pi.ID != w.self {
+					cs.add(pi)
+				}
+			}
+		}
+	}
+	out := make([]netsim.ProviderRecord, 0, len(providers))
+	for _, r := range providers {
+		out = append(out, r)
+	}
+	// Deterministic order: by provider ID key.
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Provider.ID.Key().Cmp(out[j].Provider.ID.Key()) < 0
+	})
+	return out, stats
+}

@@ -1,0 +1,131 @@
+package dht
+
+import (
+	"testing"
+
+	"tcsb/internal/ids"
+	"tcsb/internal/netsim"
+)
+
+func pi(seed uint64) netsim.PeerInfo {
+	return netsim.PeerInfo{ID: ids.PeerIDFromSeed(seed)}
+}
+
+func TestCandidateSetOrdering(t *testing.T) {
+	target := ids.KeyFromUint64(0)
+	cs := newCandidateSet(target)
+	for s := uint64(1); s <= 50; s++ {
+		cs.add(pi(s))
+	}
+	// sorted must be in increasing XOR distance to target.
+	for i := 1; i < len(cs.sorted); i++ {
+		a := cs.sorted[i-1].Key().Xor(target)
+		b := cs.sorted[i].Key().Xor(target)
+		if b.Cmp(a) < 0 {
+			t.Fatalf("candidate order violated at %d", i)
+		}
+	}
+}
+
+func TestCandidateSetDeduplicates(t *testing.T) {
+	cs := newCandidateSet(ids.KeyFromUint64(0))
+	cs.add(pi(1))
+	cs.add(pi(1))
+	if len(cs.sorted) != 1 || len(cs.known) != 1 {
+		t.Fatalf("duplicate admitted: %d entries", len(cs.sorted))
+	}
+	cs.add(netsim.PeerInfo{}) // zero ID must be ignored
+	if len(cs.sorted) != 1 {
+		t.Fatal("zero peer admitted")
+	}
+}
+
+func TestNextBatchRespectsAlphaAndHorizon(t *testing.T) {
+	target := ids.KeyFromUint64(0)
+	cs := newCandidateSet(target)
+	for s := uint64(1); s <= 40; s++ {
+		cs.add(pi(s))
+	}
+	batch := cs.nextBatch(3, K)
+	if len(batch) != 3 {
+		t.Fatalf("batch size %d, want alpha=3", len(batch))
+	}
+	// The batch must be drawn from the K closest candidates.
+	closestSet := map[ids.PeerID]bool{}
+	for i, p := range cs.sorted {
+		if i >= K {
+			break
+		}
+		closestSet[p] = true
+	}
+	for _, p := range batch {
+		if !closestSet[p] {
+			t.Fatalf("batch member %s outside the top-K horizon", p.Short())
+		}
+	}
+	// Marking everything in the horizon queried converges the walk.
+	for i := 0; i < K && i < len(cs.sorted); i++ {
+		cs.queried[cs.sorted[i]] = true
+	}
+	if got := cs.nextBatch(3, K); len(got) != 0 {
+		t.Fatalf("converged set still yields batch of %d", len(got))
+	}
+}
+
+func TestNextBatchSkipsFailed(t *testing.T) {
+	target := ids.KeyFromUint64(0)
+	cs := newCandidateSet(target)
+	for s := uint64(1); s <= 30; s++ {
+		cs.add(pi(s))
+	}
+	// Fail the closest 5: the horizon window must slide past them.
+	for i := 0; i < 5; i++ {
+		cs.failed[cs.sorted[i]] = true
+	}
+	batch := cs.nextBatch(3, K)
+	for _, p := range batch {
+		if cs.failed[p] {
+			t.Fatal("failed peer re-batched")
+		}
+	}
+	closest := cs.closest(K)
+	for _, c := range closest {
+		if cs.failed[c.ID] {
+			t.Fatal("failed peer in closest()")
+		}
+	}
+}
+
+func TestClosestBounds(t *testing.T) {
+	cs := newCandidateSet(ids.KeyFromUint64(0))
+	if got := cs.closest(5); len(got) != 0 {
+		t.Fatal("closest on empty set")
+	}
+	cs.add(pi(1))
+	cs.add(pi(2))
+	if got := cs.closest(5); len(got) != 2 {
+		t.Fatalf("closest(5) over 2 candidates = %d", len(got))
+	}
+}
+
+func TestFindProvidersOptsDefaults(t *testing.T) {
+	// Max <= 0 defaults to K; exercised through a degenerate walker with
+	// no network interaction (empty seeds).
+	w := NewWalker(netsim.New(), ids.PeerIDFromSeed(1))
+	recs, stats := w.FindProviders(nil, ids.CIDFromSeed(1), FindProvidersOpts{})
+	if len(recs) != 0 || stats.Queried != 0 {
+		t.Fatalf("walk over empty seeds did something: %v %v", recs, stats)
+	}
+}
+
+func TestWalkStatsFailureAccounting(t *testing.T) {
+	// A network with only unreachable seeds: every query fails, the walk
+	// terminates, failures are counted.
+	net := netsim.New()
+	w := NewWalker(net, ids.PeerIDFromSeed(1))
+	seeds := []netsim.PeerInfo{pi(10), pi(11), pi(12)}
+	_, stats := w.GetClosestPeers(seeds, ids.KeyFromUint64(5))
+	if stats.Queried != 3 || stats.Failed != 3 {
+		t.Fatalf("stats = %+v, want 3 queried / 3 failed", stats)
+	}
+}

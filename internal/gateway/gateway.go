@@ -1,0 +1,92 @@
+// Package gateway models public HTTP-to-IPFS gateways (Section 2, "HTTP
+// Gateways"): an HTTP frontend (a domain plus frontend IPs, often behind
+// a CDN reverse proxy such as Cloudflare) backed by one or more IPFS
+// overlay nodes that perform the actual retrievals, with an HTTP-side
+// content cache.
+//
+// Large operators reverse-proxy a single HTTP endpoint onto multiple
+// overlay nodes — the reason the paper's probe needs repeated requests to
+// enumerate all of a gateway's overlay IDs.
+package gateway
+
+import (
+	"net/netip"
+
+	"tcsb/internal/ids"
+	"tcsb/internal/node"
+)
+
+// Gateway is a public HTTP gateway.
+type Gateway struct {
+	domain      string
+	frontendIPs []netip.Addr
+	nodes       []*node.Node
+	next        int
+	cache       map[ids.CID]bool
+	// Requests counts HTTP-side fetches (cache hits included).
+	Requests int64
+	// CacheHits counts fetches answered from the HTTP-side cache.
+	CacheHits int64
+}
+
+// New creates a gateway serving the given domain from the given overlay
+// nodes, with the given HTTP frontend addresses.
+func New(domain string, frontendIPs []netip.Addr, nodes []*node.Node) *Gateway {
+	if len(nodes) == 0 {
+		panic("gateway: needs at least one overlay node")
+	}
+	return &Gateway{
+		domain:      domain,
+		frontendIPs: append([]netip.Addr(nil), frontendIPs...),
+		nodes:       nodes,
+		cache:       make(map[ids.CID]bool),
+	}
+}
+
+// Domain returns the gateway's HTTP domain.
+func (g *Gateway) Domain() string { return g.domain }
+
+// FrontendIPs returns the HTTP-side addresses.
+func (g *Gateway) FrontendIPs() []netip.Addr {
+	return append([]netip.Addr(nil), g.frontendIPs...)
+}
+
+// OverlayIDs returns the overlay identities of the backing nodes (ground
+// truth the probe tries to discover).
+func (g *Gateway) OverlayIDs() []ids.PeerID {
+	out := make([]ids.PeerID, len(g.nodes))
+	for i, n := range g.nodes {
+		out[i] = n.ID()
+	}
+	return out
+}
+
+// Nodes returns the backing overlay nodes.
+func (g *Gateway) Nodes() []*node.Node { return g.nodes }
+
+// FetchHTTP handles an HTTP GET for a CID: check the cache, otherwise
+// retrieve via IPFS from the next overlay node (round-robin, modelling
+// the operator's load balancer), then cache. Returns whether the content
+// was obtained.
+func (g *Gateway) FetchHTTP(c ids.CID) bool {
+	ok, _ := g.FetchHTTPNode(c)
+	return ok
+}
+
+// FetchHTTPNode is FetchHTTP but also reports which overlay node
+// performed the retrieval (nil on a cache hit). Scenario drivers use the
+// node to model the gateway re-providing downloaded content.
+func (g *Gateway) FetchHTTPNode(c ids.CID) (bool, *node.Node) {
+	g.Requests++
+	if g.cache[c] {
+		g.CacheHits++
+		return true, nil
+	}
+	nd := g.nodes[g.next%len(g.nodes)]
+	g.next++
+	res := nd.Retrieve(c, false)
+	if res.Found {
+		g.cache[c] = true
+	}
+	return res.Found, nd
+}

@@ -1,0 +1,138 @@
+package gwprobe
+
+import (
+	"net/netip"
+	"testing"
+
+	"tcsb/internal/gateway"
+	"tcsb/internal/ids"
+	"tcsb/internal/monitor"
+	"tcsb/internal/netsim"
+	"tcsb/internal/node"
+	"tcsb/internal/simtest"
+)
+
+// fixture builds a network with a monitor and a 3-node gateway whose
+// overlay nodes are Bitswap-connected to the monitor (gateways maintain
+// many Bitswap connections; the monitor accepts all).
+func fixture(t *testing.T, gwNodes int) (*simtest.Net, *monitor.Monitor, *gateway.Gateway) {
+	t.Helper()
+	net := simtest.BuildServers(100)
+
+	monID := ids.PeerIDFromSeed(1 << 61)
+	mon := monitor.New(monID, net.Network)
+	net.Network.Attach(monID, mon, netsim.HostConfig{Reachable: true, UnlimitedInbound: true})
+
+	var backing []*node.Node
+	for i := 0; i < gwNodes; i++ {
+		nd := net.Nodes[10+i]
+		nd.ConnectBitswap(monID)
+		backing = append(backing, nd)
+	}
+	gw := gateway.New("example-gateway.io",
+		[]netip.Addr{netip.MustParseAddr("104.17.5.5")}, backing)
+	return net, mon, gw
+}
+
+func TestProbeOnceDiscoversOverlayID(t *testing.T) {
+	_, mon, gw := fixture(t, 1)
+	p := New(mon, 42)
+	id, ok := p.ProbeOnce(gw)
+	if !ok {
+		t.Fatal("probe failed")
+	}
+	if id != gw.OverlayIDs()[0] {
+		t.Fatalf("discovered %s, want %s", id.Short(), gw.OverlayIDs()[0].Short())
+	}
+}
+
+func TestIdentifyEnumeratesAllNodes(t *testing.T) {
+	_, mon, gw := fixture(t, 3)
+	p := New(mon, 42)
+	found := p.Identify(gw, 12) // round-robin: 12 probes cover 3 nodes
+	if len(found) != 3 {
+		t.Fatalf("identified %d overlay IDs, want 3", len(found))
+	}
+	want := map[ids.PeerID]bool{}
+	for _, id := range gw.OverlayIDs() {
+		want[id] = true
+	}
+	for _, id := range found {
+		if !want[id] {
+			t.Fatalf("discovered non-gateway ID %s", id.Short())
+		}
+	}
+}
+
+func TestProbeUsesUniqueContent(t *testing.T) {
+	_, mon, gw := fixture(t, 1)
+	p := New(mon, 42)
+	logBefore := mon.Log().Len()
+	p.ProbeOnce(gw)
+	p.ProbeOnce(gw)
+	events := mon.Log().Events()[logBefore:]
+	if len(events) < 2 {
+		t.Fatalf("expected 2 probe events, got %d", len(events))
+	}
+	if events[0].CID == events[1].CID {
+		t.Fatal("probe reused content between rounds")
+	}
+}
+
+func TestGatewayCacheServesRepeats(t *testing.T) {
+	_, mon, gw := fixture(t, 1)
+	p := New(mon, 42)
+	c := p.uniqueCID()
+	mon.AddBlock(c)
+	if !gw.FetchHTTP(c) {
+		t.Fatal("first fetch failed")
+	}
+	if !gw.FetchHTTP(c) {
+		t.Fatal("cached fetch failed")
+	}
+	if gw.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", gw.CacheHits)
+	}
+	if gw.Requests != 2 {
+		t.Fatalf("Requests = %d, want 2", gw.Requests)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	net, mon, gw1 := fixture(t, 2)
+	// Second gateway on different nodes.
+	var backing []*node.Node
+	for i := 0; i < 2; i++ {
+		nd := net.Nodes[30+i]
+		nd.ConnectBitswap(mon.ID())
+		backing = append(backing, nd)
+	}
+	gw2 := gateway.New("other-gw.dev", []netip.Addr{netip.MustParseAddr("52.8.8.8")}, backing)
+
+	p := New(mon, 42)
+	census := p.Census([]*gateway.Gateway{gw1, gw2}, 8)
+	if len(census) != 2 {
+		t.Fatalf("census covers %d gateways", len(census))
+	}
+	if len(census["example-gateway.io"]) != 2 || len(census["other-gw.dev"]) != 2 {
+		t.Fatalf("census = %v", census)
+	}
+	set := GatewayPeerSet(census)
+	if len(set) != 4 {
+		t.Fatalf("peer set size = %d, want 4", len(set))
+	}
+}
+
+func TestProbeFailsWithoutBitswapPath(t *testing.T) {
+	net := simtest.BuildServers(50)
+	monID := ids.PeerIDFromSeed(1 << 61)
+	mon := monitor.New(monID, net.Network)
+	net.Network.Attach(monID, mon, netsim.HostConfig{Reachable: true, UnlimitedInbound: true})
+	// Gateway node NOT connected to the monitor and content not in DHT:
+	// the unique content is unreachable, probe must fail gracefully.
+	gw := gateway.New("dark-gw.io", nil, []*node.Node{net.Nodes[5]})
+	p := New(mon, 42)
+	if _, ok := p.ProbeOnce(gw); ok {
+		t.Fatal("probe succeeded without any retrieval path")
+	}
+}

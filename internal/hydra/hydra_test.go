@@ -1,0 +1,237 @@
+package hydra
+
+import (
+	"testing"
+
+	"tcsb/internal/dht"
+	"tcsb/internal/ids"
+	"tcsb/internal/netsim"
+	"tcsb/internal/simtest"
+)
+
+// attach registers all hydra heads on the fixture network and bootstraps
+// the shared table from every server.
+func attach(net *simtest.Net, cfg Config) *Hydra {
+	h := New(net.Network, 1<<50, cfg)
+	for _, head := range h.Heads() {
+		net.Network.Attach(head, h, netsim.HostConfig{Reachable: true})
+	}
+	var seeds []netsim.PeerInfo
+	for _, nd := range net.Nodes {
+		seeds = append(seeds, net.Network.Info(nd.ID()))
+	}
+	h.Bootstrap(seeds)
+	// Servers also learn the hydra heads (they would via normal churn).
+	for _, nd := range net.Nodes {
+		for _, head := range h.Heads() {
+			nd.LearnPeer(head, 0)
+		}
+	}
+	return h
+}
+
+func TestHydraHeadsDistinct(t *testing.T) {
+	h := New(netsim.New(), 7, Config{})
+	heads := h.Heads()
+	if len(heads) != DefaultHeads {
+		t.Fatalf("%d heads, want %d", len(heads), DefaultHeads)
+	}
+	seen := map[ids.PeerID]bool{}
+	for _, hd := range heads {
+		if seen[hd] {
+			t.Fatal("duplicate head ID")
+		}
+		seen[hd] = true
+		if !h.IsHead(hd) {
+			t.Fatal("IsHead false for own head")
+		}
+	}
+	if h.IsHead(ids.PeerIDFromSeed(1)) {
+		t.Fatal("IsHead true for foreign peer")
+	}
+}
+
+func TestHydraLogsRequests(t *testing.T) {
+	net := simtest.BuildServers(100)
+	h := attach(net, Config{Heads: 5})
+
+	head := h.Heads()[0]
+	caller := net.Nodes[3]
+	c := ids.CIDFromSeed(1)
+
+	_, _ = net.Network.FindNode(caller.ID(), head, ids.KeyFromUint64(9))
+	_, _, _ = net.Network.GetProviders(caller.ID(), head, c)
+	_ = net.Network.AddProvider(caller.ID(), head, c,
+		netsim.ProviderRecord{Provider: net.Network.Info(caller.ID())})
+
+	if h.Log().Len() != 3 {
+		t.Fatalf("logged %d events, want 3", h.Log().Len())
+	}
+	types := map[netsim.MsgType]bool{}
+	for _, e := range h.Log().Events() {
+		types[e.Type] = true
+		if e.Peer != caller.ID() {
+			t.Errorf("event peer = %s", e.Peer.Short())
+		}
+		if !e.IP.IsValid() {
+			t.Error("event missing IP")
+		}
+	}
+	if len(types) != 3 {
+		t.Errorf("logged types = %v", types)
+	}
+}
+
+func TestHydraServesDHT(t *testing.T) {
+	net := simtest.BuildServers(100)
+	h := attach(net, Config{Heads: 5})
+	head := h.Heads()[0]
+
+	// FindNode answers with contacts.
+	peers, err := net.Network.FindNode(net.Nodes[0].ID(), head, ids.KeyFromUint64(3))
+	if err != nil || len(peers) == 0 {
+		t.Fatalf("hydra FindNode: %v peers, err %v", len(peers), err)
+	}
+
+	// Stored provider records are served back.
+	c := ids.CIDFromSeed(2)
+	rec := netsim.ProviderRecord{Provider: net.Network.Info(net.Nodes[1].ID())}
+	_ = net.Network.AddProvider(net.Nodes[1].ID(), head, c, rec)
+	recs, closer, err := net.Network.GetProviders(net.Nodes[2].ID(), head, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Provider.ID != net.Nodes[1].ID() {
+		t.Fatalf("records = %v", recs)
+	}
+	if len(closer) == 0 {
+		t.Fatal("no closer peers returned")
+	}
+}
+
+func TestProactiveLookupAmplification(t *testing.T) {
+	net := simtest.BuildServers(150)
+	h := attach(net, Config{Heads: 5, ProactiveLookups: true})
+	head := h.Heads()[0]
+
+	// Real content provided by a node.
+	c := ids.CIDFromSeed(3)
+	net.Nodes[10].AddBlock(c)
+	net.Nodes[10].Provide(c)
+
+	// A cache-missing request enqueues a lookup.
+	_, _, _ = net.Network.GetProviders(net.Nodes[5].ID(), head, c)
+	if h.PendingLookups() != 1 {
+		t.Fatalf("pending = %d, want 1", h.PendingLookups())
+	}
+	// Duplicate requests do not enqueue twice.
+	_, _, _ = net.Network.GetProviders(net.Nodes[6].ID(), head, c)
+	if h.PendingLookups() != 1 {
+		t.Fatalf("pending after dup = %d, want 1", h.PendingLookups())
+	}
+
+	before := net.Network.TotalMessages()
+	if n := h.ProcessPending(0); n != 1 {
+		t.Fatalf("processed %d lookups", n)
+	}
+	amplified := net.Network.TotalMessages() - before
+	if amplified == 0 || h.LookupRPCs == 0 {
+		t.Fatal("proactive lookup generated no traffic")
+	}
+
+	// The cache now answers directly.
+	recs, _, _ := net.Network.GetProviders(net.Nodes[7].ID(), head, c)
+	if len(recs) == 0 {
+		t.Fatal("cache not serving after proactive lookup")
+	}
+	if h.CacheSize() != 1 {
+		t.Fatalf("cache size = %d", h.CacheSize())
+	}
+}
+
+func TestProactiveLookupDoSVector(t *testing.T) {
+	// Asking for non-existing content still triggers a full (wasted)
+	// walk — the paper's DoS observation — but only once per CID.
+	net := simtest.BuildServers(150)
+	h := attach(net, Config{Heads: 5, ProactiveLookups: true})
+	head := h.Heads()[0]
+	bogus := ids.CIDFromSeed(1 << 40)
+
+	_, _, _ = net.Network.GetProviders(net.Nodes[5].ID(), head, bogus)
+	before := net.Network.TotalMessages()
+	h.ProcessPending(0)
+	if net.Network.TotalMessages() == before {
+		t.Fatal("lookup for bogus CID generated no traffic")
+	}
+	// Second request: negative result cached, no new lookup.
+	_, _, _ = net.Network.GetProviders(net.Nodes[6].ID(), head, bogus)
+	if h.PendingLookups() != 0 {
+		t.Fatal("bogus CID re-enqueued despite negative cache")
+	}
+}
+
+func TestProactiveDisabled(t *testing.T) {
+	net := simtest.BuildServers(100)
+	h := attach(net, Config{Heads: 3, ProactiveLookups: false})
+	_, _, _ = net.Network.GetProviders(net.Nodes[5].ID(), h.Heads()[0], ids.CIDFromSeed(9))
+	if h.PendingLookups() != 0 {
+		t.Fatal("lookup enqueued despite ProactiveLookups=false")
+	}
+}
+
+func TestOwnHeadsNotLogged(t *testing.T) {
+	net := simtest.BuildServers(100)
+	h := attach(net, Config{Heads: 5, ProactiveLookups: true})
+	// Trigger proactive lookup; hydra's own walk may hit its other heads,
+	// which must not pollute the log.
+	_, _, _ = net.Network.GetProviders(net.Nodes[5].ID(), h.Heads()[0], ids.CIDFromSeed(12))
+	logBefore := h.Log().Len()
+	h.ProcessPending(0)
+	for _, e := range h.Log().Events()[logBefore:] {
+		if h.IsHead(e.Peer) {
+			t.Fatal("hydra logged its own head's traffic")
+		}
+	}
+}
+
+func TestPendingQueueBounded(t *testing.T) {
+	net := simtest.BuildServers(50)
+	h := attach(net, Config{Heads: 2, ProactiveLookups: true, MaxPendingLookups: 5})
+	head := h.Heads()[0]
+	for i := 0; i < 20; i++ {
+		_, _, _ = net.Network.GetProviders(net.Nodes[1].ID(), head, ids.CIDFromSeed(uint64(100+i)))
+	}
+	if h.PendingLookups() > 5 {
+		t.Fatalf("pending = %d exceeds bound", h.PendingLookups())
+	}
+}
+
+func TestHydraReachableViaWalk(t *testing.T) {
+	// DHT walks from ordinary nodes should traverse hydra heads like any
+	// other server: provide and resolve content where a head is a
+	// resolver.
+	net := simtest.BuildServers(100)
+	_ = attach(net, Config{Heads: 20})
+	c := ids.CIDFromSeed(4)
+	net.Nodes[3].AddBlock(c)
+	if rs, _ := net.Nodes[3].Provide(c); len(rs) == 0 {
+		t.Fatal("provide failed")
+	}
+	recs, _ := net.Nodes[80].FindProviders(c, dht.FindProvidersOpts{})
+	if len(recs) != 1 {
+		t.Fatalf("resolution through hydra-augmented DHT found %d records", len(recs))
+	}
+}
+
+func BenchmarkHydraGetProviders(b *testing.B) {
+	net := simtest.BuildServers(200)
+	h := attach(net, Config{Heads: 5})
+	head := h.Heads()[0]
+	c := ids.CIDFromSeed(1)
+	caller := net.Nodes[0].ID()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = net.Network.GetProviders(caller, head, c)
+	}
+}

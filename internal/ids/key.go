@@ -1,0 +1,154 @@
+// Package ids implements the 256-bit identifier keyspace shared by IPFS
+// peer IDs and content identifiers (CIDs), together with the XOR distance
+// metric that underlies Kademlia routing.
+//
+// In the real IPFS network a peer ID is derived from the public key of the
+// node's key pair and a CID is derived from the hash of the content; both
+// live in the same 256-bit keyspace after hashing, which is what allows the
+// DHT to store provider records "close" to a CID. This package reproduces
+// exactly that structure: Key is the raw keyspace point, PeerID and CID are
+// thin domain types over it, and Distance/CommonPrefixLen implement the XOR
+// metric from Maymounkov & Mazières (Kademlia, IPTPS 2002).
+package ids
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+)
+
+// KeyLen is the length of a keyspace identifier in bytes.
+const KeyLen = 32
+
+// KeyBits is the length of a keyspace identifier in bits.
+const KeyBits = KeyLen * 8
+
+// Key is a point in the 256-bit Kademlia keyspace. Keys are comparable and
+// can be used as map keys. The zero Key is a valid (if unlikely) identifier.
+type Key [KeyLen]byte
+
+// KeyFromBytes hashes arbitrary bytes into the keyspace using SHA-256.
+// This mirrors how IPFS derives DHT keys from both peer IDs and CIDs.
+func KeyFromBytes(b []byte) Key {
+	return Key(sha256.Sum256(b))
+}
+
+// KeyFromUint64 derives a Key from a 64-bit seed. It is a convenience for
+// deterministic tests and scenario generation: distinct seeds yield distinct,
+// well-distributed keys.
+func KeyFromUint64(v uint64) Key {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return KeyFromBytes(buf[:])
+}
+
+// Xor returns the bitwise XOR of two keys, i.e. the Kademlia distance
+// between them expressed as a keyspace point.
+func (k Key) Xor(o Key) Key {
+	var d Key
+	for i := range k {
+		d[i] = k[i] ^ o[i]
+	}
+	return d
+}
+
+// Cmp compares two keys as big-endian unsigned integers. It returns -1 if
+// k < o, 0 if equal, and 1 if k > o.
+func (k Key) Cmp(o Key) int {
+	for i := range k {
+		switch {
+		case k[i] < o[i]:
+			return -1
+		case k[i] > o[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// IsZero reports whether the key is the all-zero identifier.
+func (k Key) IsZero() bool {
+	for _, b := range k {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LeadingZeros returns the number of leading zero bits in the key.
+// For a distance key d = a XOR b this equals CommonPrefixLen(a, b).
+func (k Key) LeadingZeros() int {
+	n := 0
+	for _, b := range k {
+		if b == 0 {
+			n += 8
+			continue
+		}
+		n += bits.LeadingZeros8(b)
+		break
+	}
+	return n
+}
+
+// Bit returns bit i of the key, counting from the most significant bit
+// (bit 0) to the least significant (bit 255).
+func (k Key) Bit(i int) int {
+	if i < 0 || i >= KeyBits {
+		panic(fmt.Sprintf("ids: bit index %d out of range", i))
+	}
+	return int(k[i/8]>>(7-uint(i%8))) & 1
+}
+
+// WithBit returns a copy of the key with bit i (MSB-first indexing) set to
+// the given value. It is used by the crawler to craft FindNode targets that
+// sweep specific buckets of a remote routing table.
+func (k Key) WithBit(i int, v int) Key {
+	if i < 0 || i >= KeyBits {
+		panic(fmt.Sprintf("ids: bit index %d out of range", i))
+	}
+	mask := byte(1) << (7 - uint(i%8))
+	if v == 0 {
+		k[i/8] &^= mask
+	} else {
+		k[i/8] |= mask
+	}
+	return k
+}
+
+// FlipBit returns a copy of the key with bit i flipped.
+func (k Key) FlipBit(i int) Key {
+	return k.WithBit(i, 1-k.Bit(i))
+}
+
+// String returns the key as lowercase hex. Full keys are long; see Short
+// for a log-friendly prefix.
+func (k Key) String() string {
+	return hex.EncodeToString(k[:])
+}
+
+// Short returns the first 8 hex characters of the key, enough to tell keys
+// apart in logs and test failures.
+func (k Key) Short() string {
+	return hex.EncodeToString(k[:4])
+}
+
+// Distance returns the XOR distance between a and b.
+func Distance(a, b Key) Key {
+	return a.Xor(b)
+}
+
+// CommonPrefixLen returns the number of leading bits shared by a and b.
+// It is 256 when a == b. In Kademlia, a peer with common prefix length cpl
+// relative to the local node belongs in bucket cpl.
+func CommonPrefixLen(a, b Key) int {
+	return a.Xor(b).LeadingZeros()
+}
+
+// Closer reports whether a is strictly closer to target than b under the
+// XOR metric.
+func Closer(a, b, target Key) bool {
+	return a.Xor(target).Cmp(b.Xor(target)) < 0
+}

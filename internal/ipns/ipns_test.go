@@ -1,0 +1,164 @@
+package ipns
+
+import (
+	"strings"
+	"testing"
+
+	"tcsb/internal/ids"
+)
+
+func TestNameDerivation(t *testing.T) {
+	a, b := NameFromSeed(1), NameFromSeed(1)
+	if a != b {
+		t.Fatal("name derivation not deterministic")
+	}
+	if NameFromSeed(1) == NameFromSeed(2) {
+		t.Fatal("distinct seeds collide")
+	}
+	if !strings.HasPrefix(a.String(), "k51") {
+		t.Fatalf("name string %q missing k51 prefix", a.String())
+	}
+	p := ids.PeerIDFromSeed(9)
+	if NameFromPeer(p).Key() != p.Key() {
+		t.Fatal("peer-derived name must share the peer's key")
+	}
+}
+
+func TestRecordVerify(t *testing.T) {
+	name := NameFromSeed(1)
+	c := ids.CIDFromSeed(1)
+	r := NewRecord(name, c, 1, 100)
+	if err := r.Verify(200); err != nil {
+		t.Fatalf("fresh record invalid: %v", err)
+	}
+	// Expiry.
+	if err := r.Verify(100 + DefaultValidity); err == nil {
+		t.Fatal("expired record verified")
+	}
+	// Tampered value breaks the signature.
+	r2 := r
+	r2.Value = ids.CIDFromSeed(2)
+	if err := r2.Verify(200); err == nil {
+		t.Fatal("forged record verified")
+	}
+	// Tampered sequence breaks the signature.
+	r3 := r
+	r3.Sequence = 7
+	if err := r3.Verify(200); err == nil {
+		t.Fatal("sequence-tampered record verified")
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	name := NameFromSeed(1)
+	c := ids.CIDFromSeed(1)
+	low := NewRecord(name, c, 1, 100)
+	high := NewRecord(name, c, 2, 50)
+	if !high.Better(low) || low.Better(high) {
+		t.Fatal("higher sequence must win regardless of age")
+	}
+	older := NewRecord(name, c, 1, 100)
+	newer := NewRecord(name, c, 1, 200)
+	if !newer.Better(older) {
+		t.Fatal("fresher record must win at equal sequence")
+	}
+}
+
+func TestRegistryPublishResolve(t *testing.T) {
+	g := NewRegistry()
+	name := NameFromSeed(1)
+	c1, c2 := ids.CIDFromSeed(1), ids.CIDFromSeed(2)
+
+	if ok, err := g.Publish(NewRecord(name, c1, 1, 0), 0); !ok || err != nil {
+		t.Fatalf("publish: ok=%v err=%v", ok, err)
+	}
+	got, err := g.Resolve(name, 10)
+	if err != nil || got != c1 {
+		t.Fatalf("resolve = %v, %v", got, err)
+	}
+
+	// Update wins; stale sequence is ignored without error.
+	if ok, _ := g.Publish(NewRecord(name, c2, 2, 20), 20); !ok {
+		t.Fatal("update rejected")
+	}
+	if ok, err := g.Publish(NewRecord(name, c1, 1, 30), 30); ok || err != nil {
+		t.Fatalf("stale record accepted: ok=%v err=%v", ok, err)
+	}
+	got, _ = g.Resolve(name, 40)
+	if got != c2 {
+		t.Fatalf("resolve after update = %v, want %v", got, c2)
+	}
+
+	// Invalid records are rejected with an error.
+	bad := NewRecord(name, c1, 3, 0)
+	bad.Signature[0] ^= 1
+	if _, err := g.Publish(bad, 0); err == nil {
+		t.Fatal("forged record accepted")
+	}
+	if g.Names() != 1 {
+		t.Fatalf("Names = %d", g.Names())
+	}
+}
+
+func TestResolveExpiry(t *testing.T) {
+	g := NewRegistry()
+	name := NameFromSeed(1)
+	g.Publish(NewRecord(name, ids.CIDFromSeed(1), 1, 0), 0)
+	if _, err := g.Resolve(name, DefaultValidity+1); err == nil {
+		t.Fatal("expired record resolved")
+	}
+	if _, err := g.Resolve(NameFromSeed(99), 0); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestPublisherLifecycle(t *testing.T) {
+	g := NewRegistry()
+	p := NewPublisher(7)
+
+	// Republish before any update fails.
+	if err := p.Republish(g, 0); err == nil {
+		t.Fatal("republish before update succeeded")
+	}
+
+	c1, c2 := ids.CIDFromSeed(1), ids.CIDFromSeed(2)
+	if err := p.Update(g, c1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The record would expire; a republish keeps it alive at the same
+	// sequence.
+	later := DefaultValidity - 10
+	if err := p.Republish(g, later); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Resolve(p.Name(), DefaultValidity+100)
+	if err != nil || got != c1 {
+		t.Fatalf("resolve after republish = %v, %v", got, err)
+	}
+
+	// Update moves the pointer.
+	if err := p.Update(g, c2, DefaultValidity+200); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = g.Resolve(p.Name(), DefaultValidity+300)
+	if got != c2 {
+		t.Fatalf("resolve after second update = %v", got)
+	}
+	if g.Publishes != 3 {
+		t.Fatalf("Publishes = %d", g.Publishes)
+	}
+}
+
+func TestAbandonedNameGoesStale(t *testing.T) {
+	// The behaviour behind the paper's short-lived-content finding: a
+	// name whose owner stops republishing becomes unresolvable.
+	g := NewRegistry()
+	p := NewPublisher(1)
+	p.Update(g, ids.CIDFromSeed(1), 0)
+	if _, err := g.Resolve(p.Name(), DefaultValidity/2); err != nil {
+		t.Fatal("record should still be live")
+	}
+	if _, err := g.Resolve(p.Name(), 2*DefaultValidity); err == nil {
+		t.Fatal("abandoned record still resolvable")
+	}
+}

@@ -1,0 +1,220 @@
+// Package kademlia implements the k-bucket routing table used by IPFS DHT
+// servers (Maymounkov & Mazières, 2002, as deployed in go-libp2p-kad-dht).
+//
+// A node with key a stores its outbound DHT connections in buckets indexed
+// by common prefix length: bucket i holds peers whose keys share exactly i
+// leading bits with a. Buckets have fixed capacity k (20 in IPFS), which
+// makes the far buckets (low i, covering half / a quarter / … of the
+// keyspace) fill up completely while buckets close to a stay sparse — the
+// structural fact the paper's crawler exploits to enumerate a remote
+// node's entire table with a bounded sweep of FindNode queries, and the
+// reason out-degrees in Fig. 7 sit in a tight band.
+package kademlia
+
+import (
+	"sort"
+
+	"tcsb/internal/ids"
+)
+
+// K is the bucket capacity used by IPFS (and the fan-out of lookups:
+// GetClosestPeers returns the K closest peers).
+const K = 20
+
+// Contact is a routing-table entry: a peer and the moment it was last seen.
+type Contact struct {
+	Peer ids.PeerID
+	// LastSeen is a virtual-clock timestamp maintained by the caller;
+	// the table itself only uses it for replacement policy.
+	LastSeen int64
+}
+
+// Table is a Kademlia routing table for the node that owns `self`.
+// It is not safe for concurrent use; the simulator serializes access.
+type Table struct {
+	self    ids.Key
+	k       int
+	buckets [ids.KeyBits + 1][]Contact // indexed by common prefix length; cpl==KeyBits is self
+	size    int
+}
+
+// New creates a table for the given local key with the standard bucket
+// capacity K.
+func New(self ids.Key) *Table {
+	return NewWithK(self, K)
+}
+
+// NewWithK creates a table with a custom bucket capacity, used by tests
+// and ablation benchmarks.
+func NewWithK(self ids.Key, k int) *Table {
+	if k <= 0 {
+		panic("kademlia: bucket capacity must be positive")
+	}
+	return &Table{self: self, k: k}
+}
+
+// Self returns the local key the table is organized around.
+func (t *Table) Self() ids.Key { return t.self }
+
+// K returns the bucket capacity.
+func (t *Table) K() int { return t.k }
+
+// Len returns the number of contacts stored.
+func (t *Table) Len() int { return t.size }
+
+// BucketIndex returns the bucket a peer with key `other` belongs to.
+func (t *Table) BucketIndex(other ids.Key) int {
+	return ids.CommonPrefixLen(t.self, other)
+}
+
+// Add inserts or refreshes a contact. It returns true if the peer is in
+// the table afterwards. A full bucket rejects new peers unless an existing
+// contact is older than the new one's LastSeen minus staleAfter — Kademlia
+// prefers long-lived contacts, which is also why stable (cloud) nodes
+// accumulate in-degree over time (Fig. 7).
+func (t *Table) Add(c Contact) bool {
+	return t.addReplace(c, -1)
+}
+
+// AddReplacingStale is Add with an explicit staleness horizon: if the
+// bucket is full, the oldest contact with LastSeen < staleBefore is
+// evicted to make room. staleBefore <= 0 disables eviction.
+func (t *Table) AddReplacingStale(c Contact, staleBefore int64) bool {
+	return t.addReplace(c, staleBefore)
+}
+
+func (t *Table) addReplace(c Contact, staleBefore int64) bool {
+	if c.Peer.Key() == t.self {
+		return false // never store self
+	}
+	idx := t.BucketIndex(c.Peer.Key())
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].Peer == c.Peer {
+			if c.LastSeen > b[i].LastSeen {
+				b[i].LastSeen = c.LastSeen
+			}
+			return true
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[idx] = append(b, c)
+		t.size++
+		return true
+	}
+	if staleBefore > 0 {
+		oldest := 0
+		for i := 1; i < len(b); i++ {
+			if b[i].LastSeen < b[oldest].LastSeen {
+				oldest = i
+			}
+		}
+		if b[oldest].LastSeen < staleBefore {
+			b[oldest] = c
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes a peer from the table, returning true if it was present.
+func (t *Table) Remove(p ids.PeerID) bool {
+	idx := t.BucketIndex(p.Key())
+	b := t.buckets[idx]
+	for i := range b {
+		if b[i].Peer == p {
+			b[i] = b[len(b)-1]
+			t.buckets[idx] = b[:len(b)-1]
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the peer is in the table.
+func (t *Table) Contains(p ids.PeerID) bool {
+	for _, c := range t.buckets[t.BucketIndex(p.Key())] {
+		if c.Peer == p {
+			return true
+		}
+	}
+	return false
+}
+
+// NearestPeers returns up to n peers from the table closest to target
+// under the XOR metric, in increasing distance order. This is the local
+// half of the FindNode RPC: a queried DHT server answers with the K
+// closest contacts from its own buckets.
+func (t *Table) NearestPeers(target ids.Key, n int) []ids.PeerID {
+	if n <= 0 {
+		return nil
+	}
+	// Visit buckets in order of increasing distance to the target:
+	// start at the bucket the target falls in, then widen. For the modest
+	// table sizes here a full scan with a sort is simpler and fast enough,
+	// and — critically for the simulator — exact.
+	type cand struct {
+		p ids.PeerID
+		d ids.Key
+	}
+	cands := make([]cand, 0, t.size)
+	for i := range t.buckets {
+		for _, c := range t.buckets[i] {
+			cands = append(cands, cand{p: c.Peer, d: c.Peer.Key().Xor(target)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d.Cmp(cands[j].d) < 0 })
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]ids.PeerID, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].p
+	}
+	return out
+}
+
+// AllPeers returns every contact's peer ID. Order is bucket-major and
+// deterministic for a given insertion history.
+func (t *Table) AllPeers() []ids.PeerID {
+	out := make([]ids.PeerID, 0, t.size)
+	for i := range t.buckets {
+		for _, c := range t.buckets[i] {
+			out = append(out, c.Peer)
+		}
+	}
+	return out
+}
+
+// BucketSizes returns the occupancy of each non-empty bucket, keyed by
+// common prefix length. The crawler uses this shape (full far buckets,
+// sparse near buckets) to know when its sweep is complete.
+func (t *Table) BucketSizes() map[int]int {
+	out := make(map[int]int)
+	for i := range t.buckets {
+		if len(t.buckets[i]) > 0 {
+			out[i] = len(t.buckets[i])
+		}
+	}
+	return out
+}
+
+// Bucket returns a copy of the contacts in bucket i.
+func (t *Table) Bucket(i int) []Contact {
+	if i < 0 || i >= len(t.buckets) {
+		return nil
+	}
+	return append([]Contact(nil), t.buckets[i]...)
+}
+
+// SortByDistance orders peers by XOR distance to target, closest first,
+// and returns a new slice. It is the shared helper behind lookup
+// convergence checks in the DHT walk and the crawler.
+func SortByDistance(peers []ids.PeerID, target ids.Key) []ids.PeerID {
+	out := append([]ids.PeerID(nil), peers...)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Key().Xor(target).Cmp(out[j].Key().Xor(target)) < 0
+	})
+	return out
+}

@@ -1,0 +1,287 @@
+package kademlia
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcsb/internal/ids"
+)
+
+func TestAddAndContains(t *testing.T) {
+	tab := New(ids.KeyFromUint64(0))
+	p := ids.PeerIDFromSeed(1)
+	if !tab.Add(Contact{Peer: p, LastSeen: 1}) {
+		t.Fatal("Add failed on empty table")
+	}
+	if !tab.Contains(p) {
+		t.Fatal("Contains false after Add")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestAddSelfRejected(t *testing.T) {
+	self := ids.KeyFromUint64(0)
+	tab := New(self)
+	if tab.Add(Contact{Peer: ids.PeerIDFromKey(self)}) {
+		t.Fatal("table stored its own key")
+	}
+}
+
+func TestAddIdempotentRefreshesLastSeen(t *testing.T) {
+	tab := New(ids.KeyFromUint64(0))
+	p := ids.PeerIDFromSeed(1)
+	tab.Add(Contact{Peer: p, LastSeen: 1})
+	tab.Add(Contact{Peer: p, LastSeen: 5})
+	if tab.Len() != 1 {
+		t.Fatalf("duplicate add grew table to %d", tab.Len())
+	}
+	idx := tab.BucketIndex(p.Key())
+	if got := tab.Bucket(idx)[0].LastSeen; got != 5 {
+		t.Fatalf("LastSeen = %d, want 5", got)
+	}
+	// Older sighting must not regress the timestamp.
+	tab.Add(Contact{Peer: p, LastSeen: 2})
+	if got := tab.Bucket(idx)[0].LastSeen; got != 5 {
+		t.Fatalf("LastSeen regressed to %d", got)
+	}
+}
+
+func TestBucketCapacity(t *testing.T) {
+	self := ids.KeyFromUint64(0)
+	tab := NewWithK(self, 3)
+	// Fill bucket 0 (peers whose first bit differs from self's).
+	added := 0
+	for s := uint64(0); added < 10 && s < 100000; s++ {
+		p := ids.PeerIDFromSeed(s)
+		if ids.CommonPrefixLen(self, p.Key()) != 0 {
+			continue
+		}
+		if tab.Add(Contact{Peer: p, LastSeen: int64(s)}) {
+			added++
+		} else {
+			break
+		}
+	}
+	if added != 3 {
+		t.Fatalf("bucket 0 accepted %d contacts, want capacity 3", added)
+	}
+}
+
+func TestAddReplacingStale(t *testing.T) {
+	self := ids.KeyFromUint64(0)
+	tab := NewWithK(self, 2)
+	var inBucket []ids.PeerID
+	for s := uint64(0); len(inBucket) < 3; s++ {
+		p := ids.PeerIDFromSeed(s)
+		if ids.CommonPrefixLen(self, p.Key()) == 0 {
+			inBucket = append(inBucket, p)
+		}
+	}
+	tab.Add(Contact{Peer: inBucket[0], LastSeen: 1})
+	tab.Add(Contact{Peer: inBucket[1], LastSeen: 10})
+	// Bucket full. Plain Add of a third peer fails.
+	if tab.Add(Contact{Peer: inBucket[2], LastSeen: 20}) {
+		t.Fatal("Add into full bucket succeeded")
+	}
+	// Replacement only evicts contacts older than the horizon.
+	if tab.AddReplacingStale(Contact{Peer: inBucket[2], LastSeen: 20}, 1) {
+		t.Fatal("eviction horizon 1 should not evict LastSeen=1 contact (strictly older required)")
+	}
+	if !tab.AddReplacingStale(Contact{Peer: inBucket[2], LastSeen: 20}, 5) {
+		t.Fatal("stale contact not evicted")
+	}
+	if tab.Contains(inBucket[0]) {
+		t.Fatal("oldest contact survived eviction")
+	}
+	if !tab.Contains(inBucket[1]) || !tab.Contains(inBucket[2]) {
+		t.Fatal("wrong contact evicted")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d after replacement, want 2", tab.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tab := New(ids.KeyFromUint64(0))
+	p := ids.PeerIDFromSeed(1)
+	tab.Add(Contact{Peer: p})
+	if !tab.Remove(p) {
+		t.Fatal("Remove returned false for present peer")
+	}
+	if tab.Contains(p) || tab.Len() != 0 {
+		t.Fatal("peer still present after Remove")
+	}
+	if tab.Remove(p) {
+		t.Fatal("Remove returned true for absent peer")
+	}
+}
+
+func TestNearestPeersOrdering(t *testing.T) {
+	self := ids.KeyFromUint64(0)
+	tab := New(self)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		tab.Add(Contact{Peer: ids.PeerIDFromSeed(rng.Uint64())})
+	}
+	target := ids.KeyFromUint64(999)
+	got := tab.NearestPeers(target, 20)
+	if len(got) != 20 {
+		t.Fatalf("got %d peers, want 20", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if ids.Closer(got[i].Key(), got[i-1].Key(), target) {
+			t.Fatalf("peers %d and %d out of distance order", i-1, i)
+		}
+	}
+	// Exhaustive check: nothing in the table is closer than the returned set.
+	worst := got[len(got)-1].Key().Xor(target)
+	for _, p := range tab.AllPeers() {
+		inResult := false
+		for _, g := range got {
+			if g == p {
+				inResult = true
+				break
+			}
+		}
+		if !inResult && p.Key().Xor(target).Cmp(worst) < 0 {
+			t.Fatalf("peer %s closer than returned set but omitted", p.Short())
+		}
+	}
+}
+
+func TestNearestPeersEdgeCases(t *testing.T) {
+	tab := New(ids.KeyFromUint64(0))
+	if got := tab.NearestPeers(ids.KeyFromUint64(1), 5); len(got) != 0 {
+		t.Fatalf("empty table returned %d peers", len(got))
+	}
+	tab.Add(Contact{Peer: ids.PeerIDFromSeed(1)})
+	if got := tab.NearestPeers(ids.KeyFromUint64(1), 0); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	if got := tab.NearestPeers(ids.KeyFromUint64(1), 5); len(got) != 1 {
+		t.Fatalf("n beyond size returned %d peers", len(got))
+	}
+}
+
+func TestBucketShape(t *testing.T) {
+	// With many random peers, far buckets (cpl 0, 1, 2 …) must be at
+	// capacity while deep buckets stay sparse: the structural property
+	// both Kademlia and the paper's crawler rely on.
+	self := ids.KeyFromUint64(0)
+	tab := New(self)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		tab.Add(Contact{Peer: ids.PeerIDFromSeed(rng.Uint64())})
+	}
+	sizes := tab.BucketSizes()
+	for cpl := 0; cpl <= 5; cpl++ {
+		if sizes[cpl] != K {
+			t.Errorf("bucket %d size = %d, want full (%d)", cpl, sizes[cpl], K)
+		}
+	}
+	deep := 0
+	for cpl, n := range sizes {
+		if cpl > 14 {
+			deep += n
+		}
+	}
+	if deep > 2*K {
+		t.Errorf("suspiciously many contacts (%d) in deep buckets", deep)
+	}
+}
+
+func TestAllPeersCount(t *testing.T) {
+	tab := New(ids.KeyFromUint64(0))
+	rng := rand.New(rand.NewSource(3))
+	want := 0
+	for i := 0; i < 1000; i++ {
+		if tab.Add(Contact{Peer: ids.PeerIDFromSeed(rng.Uint64())}) {
+			want++
+		}
+	}
+	if got := len(tab.AllPeers()); got != want || got != tab.Len() {
+		t.Fatalf("AllPeers = %d, Len = %d, want %d", got, tab.Len(), want)
+	}
+}
+
+func TestSortByDistance(t *testing.T) {
+	target := ids.KeyFromUint64(0)
+	peers := []ids.PeerID{
+		ids.PeerIDFromSeed(10),
+		ids.PeerIDFromSeed(20),
+		ids.PeerIDFromSeed(30),
+	}
+	sorted := SortByDistance(peers, target)
+	for i := 1; i < len(sorted); i++ {
+		if ids.Closer(sorted[i].Key(), sorted[i-1].Key(), target) {
+			t.Fatal("SortByDistance not ordered")
+		}
+	}
+	// Input must be untouched.
+	if peers[0] != ids.PeerIDFromSeed(10) {
+		t.Fatal("SortByDistance mutated input")
+	}
+}
+
+func TestSortByDistanceProperty(t *testing.T) {
+	f := func(seeds []uint64, tseed uint64) bool {
+		target := ids.KeyFromUint64(tseed)
+		peers := make([]ids.PeerID, len(seeds))
+		for i, s := range seeds {
+			peers[i] = ids.PeerIDFromSeed(s)
+		}
+		sorted := SortByDistance(peers, target)
+		if len(sorted) != len(peers) {
+			return false
+		}
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i].Key().Xor(target).Cmp(sorted[i-1].Key().Xor(target)) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewWithKValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWithK(0) did not panic")
+		}
+	}()
+	NewWithK(ids.KeyFromUint64(0), 0)
+}
+
+func BenchmarkAdd(b *testing.B) {
+	tab := New(ids.KeyFromUint64(0))
+	rng := rand.New(rand.NewSource(1))
+	peers := make([]ids.PeerID, 4096)
+	for i := range peers {
+		peers[i] = ids.PeerIDFromSeed(rng.Uint64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Add(Contact{Peer: peers[i%len(peers)], LastSeen: int64(i)})
+	}
+}
+
+func BenchmarkNearestPeers(b *testing.B) {
+	tab := New(ids.KeyFromUint64(0))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		tab.Add(Contact{Peer: ids.PeerIDFromSeed(rng.Uint64())})
+	}
+	target := ids.KeyFromUint64(12345)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.NearestPeers(target, K)
+	}
+}

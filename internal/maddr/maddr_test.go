@@ -1,0 +1,141 @@
+package maddr
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestRoundTripDirect(t *testing.T) {
+	cases := []string{
+		"/ip4/1.10.20.30/tcp/29087",
+		"/ip4/1.10.20.30/tcp/29087/p2p/12D3KooAbc",
+		"/ip6/2001:db8::1/tcp/4001",
+		"/ip4/5.6.7.8/udp/4001/quic-v1",
+		"/ip4/5.6.7.8/udp/4001/quic-v1/p2p/12D3KooXyz",
+	}
+	for _, s := range cases {
+		a, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := a.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+		if !a.IsValid() {
+			t.Errorf("%q parsed but IsValid() == false", s)
+		}
+	}
+}
+
+func TestParseCircuit(t *testing.T) {
+	s := "/ip4/52.1.2.3/tcp/4001/p2p/12D3KooRelay/p2p-circuit"
+	a, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Circuit {
+		t.Error("Circuit flag not set")
+	}
+	if a.PeerID != "12D3KooRelay" {
+		t.Errorf("relay ID = %q", a.PeerID)
+	}
+	if a.IP != netip.MustParseAddr("52.1.2.3") {
+		t.Errorf("relay IP = %v", a.IP)
+	}
+	if got := a.String(); got != s {
+		t.Errorf("round trip -> %q", got)
+	}
+}
+
+func TestParseLegacyIPFSComponent(t *testing.T) {
+	a, err := Parse("/ip4/1.2.3.4/tcp/1/ipfs/QmLegacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PeerID != "QmLegacy" {
+		t.Errorf("PeerID = %q", a.PeerID)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"ip4/1.2.3.4/tcp/1",
+		"/ip4",
+		"/ip4/nonsense/tcp/1",
+		"/ip4/1.2.3.4",
+		"/ip4/1.2.3.4/tcp",
+		"/ip4/1.2.3.4/tcp/70000",
+		"/ip4/1.2.3.4/sctp/5",
+		"/ip4/1.2.3.4/tcp/1/p2p",
+		"/ip4/1.2.3.4/tcp/1/bogus",
+		"/ip6/1.2.3.4/tcp/1",
+		"/dns4/example.com/tcp/443",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestIsLocal(t *testing.T) {
+	local := []string{
+		"/ip4/127.0.0.1/tcp/4001",
+		"/ip4/10.0.0.5/tcp/4001",
+		"/ip4/192.168.1.2/tcp/4001",
+		"/ip4/0.0.0.0/tcp/4001",
+		"/ip6/::1/tcp/4001",
+	}
+	for _, s := range local {
+		if !MustParse(s).IsLocal() {
+			t.Errorf("%q should be local", s)
+		}
+	}
+	if MustParse("/ip4/52.1.2.3/tcp/4001").IsLocal() {
+		t.Error("public address flagged local")
+	}
+}
+
+func TestNewCircuitHelpers(t *testing.T) {
+	relay := netip.MustParseAddr("52.9.9.9")
+	a := NewCircuit(relay, TCP, 4001, "12D3KooRelay")
+	if !a.Circuit || a.IP != relay {
+		t.Errorf("NewCircuit = %+v", a)
+	}
+	d := New(netip.MustParseAddr("8.8.8.8"), TCP, 1234).WithPeer("12D3KooX")
+	if d.Circuit || d.PeerID != "12D3KooX" {
+		t.Errorf("New().WithPeer = %+v", d)
+	}
+}
+
+func TestZeroAddrInvalid(t *testing.T) {
+	var a Addr
+	if a.IsValid() {
+		t.Error("zero Addr should be invalid")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = Parse("/ip4/52.1.2.3/tcp/4001/p2p/12D3KooRelay/p2p-circuit")
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	a := MustParse("/ip4/52.1.2.3/tcp/4001/p2p/12D3KooRelay/p2p-circuit")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.String()
+	}
+}

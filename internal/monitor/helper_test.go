@@ -1,0 +1,29 @@
+package monitor
+
+import (
+	"tcsb/internal/ids"
+	"tcsb/internal/maddr"
+	"tcsb/internal/netsim"
+	"tcsb/internal/node"
+	"tcsb/internal/simtest"
+)
+
+// clientNode aliases node.Node for test readability.
+type clientNode = node.Node
+
+// nodeNew creates a NAT-ed DHT client attached behind the given relay,
+// knowing the first 10 servers of the fixture network.
+func nodeNew(id ids.PeerID, net *simtest.Net, relay ids.PeerID) *clientNode {
+	nd := node.New(id, net.Network, node.Config{DHTServer: false})
+	relayIP := net.Network.PrimaryIP(relay)
+	circuit := maddr.NewCircuit(relayIP, maddr.TCP, 4001, relay.String())
+	net.Network.Attach(id, nd, netsim.HostConfig{
+		Reachable: false,
+		Relay:     relay,
+		Addrs:     []maddr.Addr{circuit},
+	})
+	for i := 0; i < 10 && i < len(net.Nodes); i++ {
+		nd.LearnPeer(net.Nodes[i].ID(), 0)
+	}
+	return nd
+}

@@ -1,0 +1,137 @@
+// Package monitor implements the Bitswap monitoring node of the paper
+// (Section 3, "Bitswap logs"; originally from Balduf et al., ICDCS 2022):
+// a modified IPFS node with unbounded connection capacity that logs every
+// incoming Bitswap broadcast to disk — here, to a trace.Log.
+//
+// The monitor sees the subset of Bitswap traffic broadcast by its
+// neighbours: only the initial provider-discovery WANTs, not unicast
+// responses. It also carries a small blockstore so the gateway-probe
+// workflow (unique content planted on the monitor, requested through a
+// gateway's HTTP side) works exactly as in the paper.
+//
+// The package also implements the daily-sample pipeline: aggregate a
+// day's requests, extract and deduplicate the CIDs, and draw a fixed-size
+// uniform sample (200k/day in the paper).
+package monitor
+
+import (
+	"math/rand"
+	"sort"
+
+	"tcsb/internal/ids"
+	"tcsb/internal/netsim"
+	"tcsb/internal/trace"
+)
+
+// Monitor is a Bitswap monitoring node. It implements netsim.Handler.
+type Monitor struct {
+	id     ids.PeerID
+	net    *netsim.Network
+	log    trace.Log
+	blocks map[ids.CID]bool
+	// requesters remembers which peers have contacted us, the monitor's
+	// view of its (unbounded) connection set.
+	requesters map[ids.PeerID]bool
+}
+
+// New creates a monitor with the given overlay identity. The caller
+// attaches it to the network (reachable, unlimited inbound).
+func New(id ids.PeerID, net *netsim.Network) *Monitor {
+	return &Monitor{
+		id:         id,
+		net:        net,
+		blocks:     make(map[ids.CID]bool),
+		requesters: make(map[ids.PeerID]bool),
+	}
+}
+
+// ID returns the monitor's overlay identity.
+func (m *Monitor) ID() ids.PeerID { return m.id }
+
+// Log returns the raw, unmodified Bitswap traces.
+func (m *Monitor) Log() *trace.Log { return &m.log }
+
+// AddBlock plants content on the monitor (used by the gateway probe: we
+// are then "reasonably certain to be the only provider").
+func (m *Monitor) AddBlock(c ids.CID) { m.blocks[c] = true }
+
+// HasBlock reports whether the monitor stores c.
+func (m *Monitor) HasBlock(c ids.CID) bool { return m.blocks[c] }
+
+// Requesters returns the number of distinct peers that have sent us
+// Bitswap traffic.
+func (m *Monitor) Requesters() int { return len(m.requesters) }
+
+// HandleBitswapWant logs the broadcast and answers from the blockstore.
+func (m *Monitor) HandleBitswapWant(from ids.PeerID, c ids.CID) bool {
+	ip, viaRelay := m.net.ObservedAddr(from)
+	m.requesters[from] = true
+	m.log.Append(trace.Event{
+		Time:     m.net.Clock.Now(),
+		Peer:     from,
+		IP:       ip,
+		Type:     netsim.MsgBitswapWant,
+		CID:      c,
+		ViaRelay: viaRelay,
+	})
+	return m.blocks[c]
+}
+
+// HandleFindNode: the monitor is not a DHT server.
+func (m *Monitor) HandleFindNode(from ids.PeerID, target ids.Key) []netsim.PeerInfo {
+	return nil
+}
+
+// HandleGetProviders: the monitor is not a DHT server.
+func (m *Monitor) HandleGetProviders(from ids.PeerID, c ids.CID) ([]netsim.ProviderRecord, []netsim.PeerInfo) {
+	return nil, nil
+}
+
+// HandleAddProvider: records are ignored; the monitor only listens.
+func (m *Monitor) HandleAddProvider(from ids.PeerID, c ids.CID, rec netsim.ProviderRecord) {
+}
+
+// DailySample implements the paper's daily sampled Bitswap CIDs dataset:
+// all CIDs requested on the given day (virtual day index) are extracted,
+// deduplicated, and sampled uniformly down to sampleSize. If fewer
+// distinct CIDs were seen, all are returned. The result is deterministic
+// for a given rng and sorted input (CIDs are sorted before sampling).
+func DailySample(log *trace.Log, day int64, sampleSize int, rng *rand.Rand) []ids.CID {
+	seen := make(map[ids.CID]bool)
+	for _, e := range log.Events() {
+		if e.CID.IsZero() {
+			continue
+		}
+		if e.Time/trace.SecondsPerDay != day {
+			continue
+		}
+		seen[e.CID] = true
+	}
+	all := make([]ids.CID, 0, len(seen))
+	for c := range seen {
+		all = append(all, c)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key().Cmp(all[j].Key()) < 0 })
+	if len(all) <= sampleSize {
+		return all
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	out := all[:sampleSize]
+	sort.Slice(out, func(i, j int) bool { return out[i].Key().Cmp(out[j].Key()) < 0 })
+	return out
+}
+
+// Days returns the distinct virtual day indices present in a log,
+// ascending.
+func Days(log *trace.Log) []int64 {
+	seen := make(map[int64]bool)
+	for _, e := range log.Events() {
+		seen[e.Time/trace.SecondsPerDay] = true
+	}
+	out := make([]int64, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,171 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcsb/internal/ids"
+	"tcsb/internal/netsim"
+	"tcsb/internal/simtest"
+	"tcsb/internal/trace"
+)
+
+func attachMonitor(net *simtest.Net) *Monitor {
+	id := ids.PeerIDFromSeed(1 << 61)
+	m := New(id, net.Network)
+	net.Network.Attach(id, m, netsim.HostConfig{Reachable: true, UnlimitedInbound: true})
+	return m
+}
+
+func TestMonitorLogsBroadcasts(t *testing.T) {
+	net := simtest.BuildServers(20)
+	m := attachMonitor(net)
+	// Three nodes connect to the monitor and broadcast wants.
+	for i := 0; i < 3; i++ {
+		net.Nodes[i].ConnectBitswap(m.ID())
+	}
+	c := ids.CIDFromSeed(1)
+	for i := 0; i < 3; i++ {
+		net.Nodes[i].Retrieve(c, false)
+	}
+	if m.Log().Len() != 3 {
+		t.Fatalf("monitor logged %d events, want 3", m.Log().Len())
+	}
+	for _, e := range m.Log().Events() {
+		if e.Type != netsim.MsgBitswapWant {
+			t.Errorf("event type %v", e.Type)
+		}
+		if e.CID != c {
+			t.Errorf("event CID %v", e.CID)
+		}
+		if !e.IP.IsValid() {
+			t.Error("event missing source IP")
+		}
+		if e.ViaRelay {
+			t.Error("public sender marked as via-relay")
+		}
+	}
+	if m.Requesters() != 3 {
+		t.Errorf("Requesters = %d", m.Requesters())
+	}
+}
+
+func TestMonitorObservesRelayIPForNATedSenders(t *testing.T) {
+	net := simtest.BuildServers(20)
+	m := attachMonitor(net)
+
+	natID := ids.PeerIDFromSeed(7777)
+	relay := net.Nodes[0]
+	natNode := newClientNode(net, natID, relay.ID())
+	natNode.ConnectBitswap(m.ID())
+
+	natNode.Retrieve(ids.CIDFromSeed(5), false)
+	if m.Log().Len() == 0 {
+		t.Fatal("no events logged")
+	}
+	e := m.Log().Events()[0]
+	if !e.ViaRelay {
+		t.Error("NAT-ed sender not marked via-relay")
+	}
+	if e.IP != net.Network.PrimaryIP(relay.ID()) {
+		t.Errorf("observed IP %v, want relay IP %v", e.IP, net.Network.PrimaryIP(relay.ID()))
+	}
+}
+
+func TestMonitorServesPlantedContent(t *testing.T) {
+	net := simtest.BuildServers(20)
+	m := attachMonitor(net)
+	c := ids.CIDFromSeed(9)
+	m.AddBlock(c)
+	if !m.HasBlock(c) {
+		t.Fatal("AddBlock failed")
+	}
+	net.Nodes[1].ConnectBitswap(m.ID())
+	res := net.Nodes[1].Retrieve(c, false)
+	if !res.Found || !res.ViaBitswap || res.Provider != m.ID() {
+		t.Fatalf("Retrieve = %+v, want found via monitor", res)
+	}
+}
+
+func TestMonitorIsNotDHTServer(t *testing.T) {
+	net := simtest.BuildServers(5)
+	m := attachMonitor(net)
+	if got := m.HandleFindNode(net.Nodes[0].ID(), ids.KeyFromUint64(0)); got != nil {
+		t.Error("monitor answered FindNode")
+	}
+	recs, closer := m.HandleGetProviders(net.Nodes[0].ID(), ids.CIDFromSeed(1))
+	if recs != nil || closer != nil {
+		t.Error("monitor answered GetProviders")
+	}
+}
+
+func TestDailySample(t *testing.T) {
+	var log trace.Log
+	// Day 0: 100 distinct CIDs, each requested 3 times. Day 1: 10 CIDs.
+	for rep := 0; rep < 3; rep++ {
+		for i := 0; i < 100; i++ {
+			log.Append(trace.Event{
+				Time: int64(rep * 100),
+				CID:  ids.CIDFromSeed(uint64(i)),
+				Type: netsim.MsgBitswapWant,
+			})
+		}
+	}
+	for i := 0; i < 10; i++ {
+		log.Append(trace.Event{
+			Time: trace.SecondsPerDay + int64(i),
+			CID:  ids.CIDFromSeed(uint64(1000 + i)),
+			Type: netsim.MsgBitswapWant,
+		})
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	day0 := DailySample(&log, 0, 30, rng)
+	if len(day0) != 30 {
+		t.Fatalf("sampled %d CIDs, want 30", len(day0))
+	}
+	// Dedup: no CID twice.
+	seen := map[ids.CID]bool{}
+	for _, c := range day0 {
+		if seen[c] {
+			t.Fatal("duplicate CID in sample")
+		}
+		seen[c] = true
+	}
+	// Fewer CIDs than sample size: all returned.
+	day1 := DailySample(&log, 1, 30, rng)
+	if len(day1) != 10 {
+		t.Fatalf("day 1 sample = %d, want all 10", len(day1))
+	}
+}
+
+func TestDailySampleDeterministic(t *testing.T) {
+	var log trace.Log
+	for i := 0; i < 50; i++ {
+		log.Append(trace.Event{Time: 5, CID: ids.CIDFromSeed(uint64(i))})
+	}
+	a := DailySample(&log, 0, 10, rand.New(rand.NewSource(42)))
+	b := DailySample(&log, 0, 10, rand.New(rand.NewSource(42)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sample not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestDays(t *testing.T) {
+	var log trace.Log
+	log.Append(trace.Event{Time: 0})
+	log.Append(trace.Event{Time: 2*trace.SecondsPerDay + 7})
+	log.Append(trace.Event{Time: 10})
+	days := Days(&log)
+	if len(days) != 2 || days[0] != 0 || days[1] != 2 {
+		t.Fatalf("Days = %v", days)
+	}
+}
+
+// newClientNode builds a NAT-ed DHT client wired through the given relay.
+func newClientNode(net *simtest.Net, id ids.PeerID, relay ids.PeerID) *clientNode {
+	nd := nodeNew(id, net, relay)
+	return nd
+}

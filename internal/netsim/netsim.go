@@ -1,0 +1,395 @@
+// Package netsim is the deterministic, in-memory network underlying the
+// whole reproduction: it stands in for the live IPFS overlay the paper
+// measures.
+//
+// The simulator models what the paper's measurement tools can observe:
+//
+//   - peers registered under their peer IDs, each advertising multiaddrs;
+//   - reachability: publicly dialable DHT servers vs NAT-ed DHT clients
+//     that accept inbound connections only through a circuit relay;
+//   - liveness (churn): peers go online/offline under a session model
+//     driven by the scenario;
+//   - the four protocol RPCs that matter for the study — FindNode,
+//     GetProviders, AddProvider (DHT) and Want (Bitswap) — delivered
+//     synchronously under a virtual clock.
+//
+// Latency is not modelled per-message (the paper's analyses are about
+// who talks to whom and how often, not microsecond timing); instead the
+// virtual clock is advanced explicitly by drivers, giving every logged
+// event a deterministic timestamp. Message counts are tracked per RPC
+// type so experiments can report protocol mix (57% downloads / 40%
+// advertisements in the paper's Hydra logs).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"tcsb/internal/ids"
+	"tcsb/internal/maddr"
+)
+
+// Time is a virtual-clock timestamp in seconds since the simulation epoch.
+type Time = int64
+
+// Clock is the simulation's source of time. Drivers advance it; all
+// components read it. The zero Clock starts at the epoch.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d seconds. It panics on negative d:
+// simulated time never rewinds.
+func (c *Clock) Advance(d Time) {
+	if d < 0 {
+		panic("netsim: clock cannot rewind")
+	}
+	c.now += d
+}
+
+// Set jumps the clock to an absolute time >= the current time.
+func (c *Clock) Set(t Time) {
+	if t < c.now {
+		panic("netsim: clock cannot rewind")
+	}
+	c.now = t
+}
+
+// PeerInfo is the wire representation of a peer: its ID and advertised
+// addresses. It is what FindNode responses and provider records carry.
+type PeerInfo struct {
+	ID    ids.PeerID
+	Addrs []maddr.Addr
+}
+
+// ProviderRecord maps a CID to a provider's connectivity information, as
+// stored on the CID's resolvers. Expiry is handled by the storing node.
+type ProviderRecord struct {
+	Provider PeerInfo
+	// Received is when the storing node accepted the record.
+	Received Time
+}
+
+// Handler is the protocol surface a peer exposes to the network. Node,
+// the Hydra booster and the Bitswap monitor all implement it.
+type Handler interface {
+	// HandleFindNode answers a DHT FindNode: the K closest contacts to
+	// target from the peer's routing table. DHT clients return nil.
+	HandleFindNode(from ids.PeerID, target ids.Key) []PeerInfo
+	// HandleGetProviders answers a DHT GetProviders: any provider records
+	// held for c, plus the K closest contacts to c's key.
+	HandleGetProviders(from ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo)
+	// HandleAddProvider ingests a provider record for c.
+	HandleAddProvider(from ids.PeerID, c ids.CID, rec ProviderRecord)
+	// HandleBitswapWant answers a Bitswap WANT(c): whether the peer has
+	// the block.
+	HandleBitswapWant(from ids.PeerID, c ids.CID) bool
+}
+
+// MsgType labels RPCs for traffic accounting.
+type MsgType int
+
+// RPC types. The DHT types map onto the paper's traffic classification:
+// GetProviders is download-related, AddProvider is advertisement-related,
+// FindNode is "other" (routing/joining).
+const (
+	MsgFindNode MsgType = iota
+	MsgGetProviders
+	MsgAddProvider
+	MsgBitswapWant
+	msgTypeCount
+)
+
+// String returns the RPC name.
+func (m MsgType) String() string {
+	switch m {
+	case MsgFindNode:
+		return "FIND_NODE"
+	case MsgGetProviders:
+		return "GET_PROVIDERS"
+	case MsgAddProvider:
+		return "ADD_PROVIDER"
+	case MsgBitswapWant:
+		return "BITSWAP_WANT"
+	}
+	return fmt.Sprintf("MsgType(%d)", int(m))
+}
+
+// Errors returned by dialing.
+var (
+	ErrUnknownPeer   = errors.New("netsim: unknown peer")
+	ErrOffline       = errors.New("netsim: peer offline")
+	ErrUnreachable   = errors.New("netsim: peer not dialable (NAT without relay path)")
+	ErrRelayDown     = errors.New("netsim: relay offline")
+	ErrNotRegistered = errors.New("netsim: peer has no handler")
+)
+
+// hostRecord is the simulator's registry entry for one peer.
+type hostRecord struct {
+	handler Handler
+	addrs   []maddr.Addr
+	online  bool
+	// reachable means publicly dialable: a DHT-server-capable host.
+	reachable bool
+	// relay is the circuit relay for NAT-ed hosts (zero if none).
+	relay ids.PeerID
+	// sourceIP is the outbound source address for NAT-ed hosts.
+	sourceIP netip.Addr
+	// unlimitedInbound marks monitoring nodes that accept any connection.
+	unlimitedInbound bool
+}
+
+// Network is the simulated overlay. It is not safe for concurrent use:
+// the simulation is single-threaded and deterministic by design.
+type Network struct {
+	Clock    Clock
+	hosts    map[ids.PeerID]*hostRecord
+	msgCount [msgTypeCount]int64
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{hosts: make(map[ids.PeerID]*hostRecord)}
+}
+
+// HostConfig describes a peer being attached to the network.
+type HostConfig struct {
+	// Addrs are the peer's advertised multiaddrs.
+	Addrs []maddr.Addr
+	// Reachable marks the peer publicly dialable. Unreachable peers can
+	// only accept inbound connections through their relay.
+	Reachable bool
+	// Relay is the circuit relay peer for NAT-ed hosts; ignored when
+	// Reachable.
+	Relay ids.PeerID
+	// SourceIP is the address a NAT-ed host's *outbound* connections
+	// appear to come from (its NAT's public side). Monitors log this for
+	// direct requests; the relay's address appears only for relayed
+	// inbound traffic.
+	SourceIP netip.Addr
+	// UnlimitedInbound marks monitor-style hosts with unbounded
+	// connection capacity.
+	UnlimitedInbound bool
+}
+
+// Attach registers a handler under the peer ID. The peer starts online.
+// Attaching an already-known ID replaces its record, which is how nodes
+// re-join after regenerating state.
+func (n *Network) Attach(id ids.PeerID, h Handler, cfg HostConfig) {
+	n.hosts[id] = &hostRecord{
+		handler:          h,
+		addrs:            append([]maddr.Addr(nil), cfg.Addrs...),
+		online:           true,
+		reachable:        cfg.Reachable,
+		relay:            cfg.Relay,
+		sourceIP:         cfg.SourceIP,
+		unlimitedInbound: cfg.UnlimitedInbound,
+	}
+}
+
+// Detach removes a peer entirely (e.g. a node that left and regenerated
+// its identity).
+func (n *Network) Detach(id ids.PeerID) {
+	delete(n.hosts, id)
+}
+
+// SetOnline flips a peer's liveness; offline peers refuse all dials.
+func (n *Network) SetOnline(id ids.PeerID, online bool) {
+	if h, ok := n.hosts[id]; ok {
+		h.online = online
+	}
+}
+
+// SetAddrs replaces a peer's advertised addresses (IP rotation).
+func (n *Network) SetAddrs(id ids.PeerID, addrs []maddr.Addr) {
+	if h, ok := n.hosts[id]; ok {
+		h.addrs = append([]maddr.Addr(nil), addrs...)
+	}
+}
+
+// SetRelay updates a NAT-ed peer's circuit relay.
+func (n *Network) SetRelay(id ids.PeerID, relay ids.PeerID) {
+	if h, ok := n.hosts[id]; ok {
+		h.relay = relay
+	}
+}
+
+// Online reports whether the peer exists and is online.
+func (n *Network) Online(id ids.PeerID) bool {
+	h, ok := n.hosts[id]
+	return ok && h.online
+}
+
+// Reachable reports whether the peer is online and publicly dialable.
+func (n *Network) Reachable(id ids.PeerID) bool {
+	h, ok := n.hosts[id]
+	return ok && h.online && h.reachable
+}
+
+// Relay returns the configured relay for a peer (zero PeerID if none).
+func (n *Network) Relay(id ids.PeerID) ids.PeerID {
+	if h, ok := n.hosts[id]; ok {
+		return h.relay
+	}
+	return ids.PeerID{}
+}
+
+// Addrs returns the peer's advertised addresses (nil for unknown peers).
+func (n *Network) Addrs(id ids.PeerID) []maddr.Addr {
+	if h, ok := n.hosts[id]; ok {
+		return append([]maddr.Addr(nil), h.addrs...)
+	}
+	return nil
+}
+
+// Info returns the peer's PeerInfo as other peers would learn it.
+func (n *Network) Info(id ids.PeerID) PeerInfo {
+	return PeerInfo{ID: id, Addrs: n.Addrs(id)}
+}
+
+// PrimaryIP returns the first advertised non-circuit IP of the peer, or
+// the zero Addr if it has none. Analysis code uses it as "the" IP when a
+// single value is needed.
+func (n *Network) PrimaryIP(id ids.PeerID) netip.Addr {
+	for _, a := range n.Addrs(id) {
+		if !a.Circuit && a.IP.IsValid() {
+			return a.IP
+		}
+	}
+	return netip.Addr{}
+}
+
+// ObservedAddr returns the source IP a remote monitor would see for
+// traffic from this peer: its own primary IP when publicly reachable, or
+// the relay's primary IP (viaRelay=true) when the peer is NAT-ed and
+// proxied. This mirrors the paper's note that Hydra logs record the proxy
+// DHT server for NAT-traversing senders.
+func (n *Network) ObservedAddr(id ids.PeerID) (ip netip.Addr, viaRelay bool) {
+	h, ok := n.hosts[id]
+	if !ok {
+		return netip.Addr{}, false
+	}
+	if h.reachable {
+		return n.PrimaryIP(id), false
+	}
+	// NAT-ed host making an outbound connection: the monitor sees its
+	// NAT's public address when known.
+	if h.sourceIP.IsValid() {
+		return h.sourceIP, false
+	}
+	if !h.relay.IsZero() {
+		return n.PrimaryIP(h.relay), true
+	}
+	// NAT-ed without a relay: outbound connections still expose the
+	// peer's own address if a direct one is advertised.
+	for _, a := range h.addrs {
+		if !a.Circuit && a.IP.IsValid() {
+			return a.IP, false
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// Peers returns all registered peer IDs in unspecified order.
+func (n *Network) Peers() []ids.PeerID {
+	out := make([]ids.PeerID, 0, len(n.hosts))
+	for id := range n.hosts {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Len returns the number of registered peers.
+func (n *Network) Len() int { return len(n.hosts) }
+
+// dial resolves the target handler, enforcing the reachability rules:
+//   - the target must exist and be online;
+//   - if the target is NAT-ed, the dial succeeds only through its relay,
+//     which must itself be online (circuit relaying).
+func (n *Network) dial(to ids.PeerID) (*hostRecord, error) {
+	h, ok := n.hosts[to]
+	if !ok {
+		return nil, ErrUnknownPeer
+	}
+	if !h.online {
+		return nil, ErrOffline
+	}
+	if !h.reachable {
+		if h.relay.IsZero() {
+			return nil, ErrUnreachable
+		}
+		r, ok := n.hosts[h.relay]
+		if !ok || !r.online {
+			return nil, ErrRelayDown
+		}
+	}
+	if h.handler == nil {
+		return nil, ErrNotRegistered
+	}
+	return h, nil
+}
+
+// FindNode performs a FindNode RPC from `from` to `to`.
+func (n *Network) FindNode(from, to ids.PeerID, target ids.Key) ([]PeerInfo, error) {
+	h, err := n.dial(to)
+	if err != nil {
+		return nil, err
+	}
+	n.msgCount[MsgFindNode]++
+	return h.handler.HandleFindNode(from, target), nil
+}
+
+// GetProviders performs a GetProviders RPC.
+func (n *Network) GetProviders(from, to ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo, error) {
+	h, err := n.dial(to)
+	if err != nil {
+		return nil, nil, err
+	}
+	n.msgCount[MsgGetProviders]++
+	recs, closer := h.handler.HandleGetProviders(from, c)
+	return recs, closer, nil
+}
+
+// AddProvider performs an AddProvider RPC.
+func (n *Network) AddProvider(from, to ids.PeerID, c ids.CID, rec ProviderRecord) error {
+	h, err := n.dial(to)
+	if err != nil {
+		return err
+	}
+	n.msgCount[MsgAddProvider]++
+	h.handler.HandleAddProvider(from, c, rec)
+	return nil
+}
+
+// BitswapWant performs a Bitswap WANT RPC, returning whether the target
+// has the block.
+func (n *Network) BitswapWant(from, to ids.PeerID, c ids.CID) (bool, error) {
+	h, err := n.dial(to)
+	if err != nil {
+		return false, err
+	}
+	n.msgCount[MsgBitswapWant]++
+	return h.handler.HandleBitswapWant(from, c), nil
+}
+
+// MessageCount returns the number of RPCs of the given type delivered so
+// far.
+func (n *Network) MessageCount(t MsgType) int64 {
+	if t < 0 || t >= msgTypeCount {
+		return 0
+	}
+	return n.msgCount[t]
+}
+
+// TotalMessages returns the total RPCs delivered across all types.
+func (n *Network) TotalMessages() int64 {
+	var sum int64
+	for _, c := range n.msgCount {
+		sum += c
+	}
+	return sum
+}

@@ -1,0 +1,383 @@
+// Package node models an IPFS node as the paper describes it (Section 2):
+// a peer that participates in the Kademlia DHT as a server or client,
+// stores and serves provider records for CIDs it is a resolver for,
+// exchanges blocks via Bitswap with a bounded set of connected neighbours,
+// advertises the content it holds (and re-provides content it downloads),
+// and — when NAT-ed — publishes circuit-relay addresses so that a
+// cloud-or-otherwise relay can reverse-proxy inbound connections.
+package node
+
+import (
+	"sort"
+
+	"tcsb/internal/dht"
+	"tcsb/internal/ids"
+	"tcsb/internal/kademlia"
+	"tcsb/internal/netsim"
+)
+
+// DefaultProviderTTL is how long a node keeps a provider record before
+// treating it as expired (24h, matching kubo's historical default).
+const DefaultProviderTTL netsim.Time = 24 * 3600
+
+// Config controls a node's behaviour.
+type Config struct {
+	// DHTServer makes the node answer DHT RPCs and store provider
+	// records. Only publicly connectable nodes become servers (the
+	// software auto-detects this; the simulator's scenario sets it).
+	DHTServer bool
+	// ProviderTTL overrides DefaultProviderTTL when positive.
+	ProviderTTL netsim.Time
+	// MaxBitswapPeers caps the Bitswap neighbour set (the connection
+	// manager keeps 600–900 connections on real nodes; scenarios scale
+	// this down with network size). Zero means unlimited — used by
+	// monitor-style nodes.
+	MaxBitswapPeers int
+}
+
+// Node is a simulated IPFS node. It implements netsim.Handler.
+// Not safe for concurrent use; the simulation is single-threaded.
+type Node struct {
+	id     ids.PeerID
+	net    *netsim.Network
+	rt     *kademlia.Table
+	walker *dht.Walker
+	cfg    Config
+
+	providers *ProviderStore
+	blocks    map[ids.CID]bool
+
+	bitswapPeers  map[ids.PeerID]bool
+	bitswapSorted []ids.PeerID // cache, rebuilt on change, for deterministic order
+
+	// served counts Bitswap blocks this node sent to others.
+	served int64
+}
+
+// New creates a node and registers nothing: the caller attaches it to the
+// network with the appropriate HostConfig (addresses, reachability,
+// relay).
+func New(id ids.PeerID, net *netsim.Network, cfg Config) *Node {
+	ttl := cfg.ProviderTTL
+	if ttl <= 0 {
+		ttl = DefaultProviderTTL
+	}
+	cfg.ProviderTTL = ttl
+	return &Node{
+		id:           id,
+		net:          net,
+		rt:           kademlia.New(id.Key()),
+		walker:       dht.NewWalker(net, id),
+		cfg:          cfg,
+		providers:    NewProviderStore(ttl),
+		blocks:       make(map[ids.CID]bool),
+		bitswapPeers: make(map[ids.PeerID]bool),
+	}
+}
+
+// ID returns the node's peer ID.
+func (n *Node) ID() ids.PeerID { return n.id }
+
+// RoutingTable exposes the node's k-buckets (read-mostly; the crawler
+// never touches this directly — it enumerates via FindNode like the real
+// tool — but scenario setup and tests do).
+func (n *Node) RoutingTable() *kademlia.Table { return n.rt }
+
+// IsDHTServer reports whether the node answers DHT RPCs.
+func (n *Node) IsDHTServer() bool { return n.cfg.DHTServer }
+
+// Served returns how many Bitswap blocks the node has sent.
+func (n *Node) Served() int64 { return n.served }
+
+// --- netsim.Handler ---
+
+// HandleFindNode answers a FindNode RPC. DHT clients do not serve the DHT
+// and return nothing. Servers opportunistically learn the caller if it is
+// itself a server (real tables only hold DHT servers).
+func (n *Node) HandleFindNode(from ids.PeerID, target ids.Key) []netsim.PeerInfo {
+	if !n.cfg.DHTServer {
+		return nil
+	}
+	n.maybeLearn(from)
+	return n.peerInfos(n.rt.NearestPeers(target, kademlia.K))
+}
+
+// HandleGetProviders answers a GetProviders RPC with any unexpired
+// provider records for c plus the closest contacts to c's key.
+func (n *Node) HandleGetProviders(from ids.PeerID, c ids.CID) ([]netsim.ProviderRecord, []netsim.PeerInfo) {
+	if !n.cfg.DHTServer {
+		return nil, nil
+	}
+	n.maybeLearn(from)
+	recs := n.providers.Get(c, n.net.Clock.Now())
+	closer := n.peerInfos(n.rt.NearestPeers(c.Key(), kademlia.K))
+	return recs, closer
+}
+
+// HandleAddProvider stores a provider record if the node is a DHT server.
+func (n *Node) HandleAddProvider(from ids.PeerID, c ids.CID, rec netsim.ProviderRecord) {
+	if !n.cfg.DHTServer {
+		return
+	}
+	n.maybeLearn(from)
+	rec.Received = n.net.Clock.Now()
+	n.providers.Put(c, rec)
+}
+
+// HandleBitswapWant answers a Bitswap WANT: whether this node has the
+// block. A positive answer counts as serving the block (the requester
+// will pull it over the same connection).
+func (n *Node) HandleBitswapWant(from ids.PeerID, c ids.CID) bool {
+	if n.blocks[c] {
+		n.served++
+		return true
+	}
+	return false
+}
+
+// maybeLearn adds the caller to the routing table when it is a reachable
+// DHT participant, refreshing LastSeen.
+func (n *Node) maybeLearn(from ids.PeerID) {
+	if from.IsZero() || from == n.id {
+		return
+	}
+	if !n.net.Reachable(from) {
+		return
+	}
+	n.rt.AddReplacingStale(
+		kademlia.Contact{Peer: from, LastSeen: n.net.Clock.Now()},
+		n.net.Clock.Now()-6*3600, // evict contacts silent for >6h
+	)
+}
+
+func (n *Node) peerInfos(peers []ids.PeerID) []netsim.PeerInfo {
+	out := make([]netsim.PeerInfo, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, n.net.Info(p))
+	}
+	return out
+}
+
+// --- DHT operations (client side) ---
+
+// seedInfos converts the routing table's closest peers to a target into
+// walk seeds; falls back to the whole table when nearly empty.
+func (n *Node) seedInfos(target ids.Key) []netsim.PeerInfo {
+	seeds := n.rt.NearestPeers(target, kademlia.K)
+	return n.peerInfos(seeds)
+}
+
+// Bootstrap joins the DHT: starting from the given bootstrap peers, the
+// node walks toward its own ID and stores every peer the walk returns.
+// Real nodes follow with periodic bucket refreshes; RefreshBuckets does.
+func (n *Node) Bootstrap(bootstrap []netsim.PeerInfo) dht.WalkStats {
+	closest, stats := n.walker.GetClosestPeers(bootstrap, n.id.Key())
+	now := n.net.Clock.Now()
+	for _, pi := range bootstrap {
+		n.learnInfo(pi, now)
+	}
+	for _, pi := range closest {
+		n.learnInfo(pi, now)
+	}
+	return stats
+}
+
+// RefreshBuckets performs one walk per bucket index in [0, maxCPL),
+// targeting a key with exactly that common prefix length relative to the
+// node, and learns every returned peer. This is how real nodes keep far
+// buckets full.
+func (n *Node) RefreshBuckets(maxCPL int) dht.WalkStats {
+	var total dht.WalkStats
+	for cpl := 0; cpl < maxCPL; cpl++ {
+		// Flip bit `cpl` of our own key: the canonical refresh target
+		// with that exact CPL.
+		target := n.id.Key().FlipBit(cpl)
+		closest, stats := n.walker.GetClosestPeers(n.seedInfos(target), target)
+		now := n.net.Clock.Now()
+		for _, pi := range closest {
+			n.learnInfo(pi, now)
+		}
+		total.Queried += stats.Queried
+		total.Failed += stats.Failed
+	}
+	return total
+}
+
+func (n *Node) learnInfo(pi netsim.PeerInfo, now netsim.Time) {
+	if pi.ID.IsZero() || pi.ID == n.id {
+		return
+	}
+	if !n.net.Reachable(pi.ID) {
+		return
+	}
+	n.rt.Add(kademlia.Contact{Peer: pi.ID, LastSeen: now})
+}
+
+// LearnPeer force-adds a peer to the routing table (oracle topology fill
+// used by large scenarios; see scenario.OracleFill).
+func (n *Node) LearnPeer(p ids.PeerID, lastSeen netsim.Time) bool {
+	return n.rt.Add(kademlia.Contact{Peer: p, LastSeen: lastSeen})
+}
+
+// Provide advertises this node as a provider for c, per the paper: a
+// GetClosestPeers walk to find the K resolvers, then AddProvider to each.
+func (n *Node) Provide(c ids.CID) ([]ids.PeerID, dht.WalkStats) {
+	return n.walker.Provide(n.seedInfos(c.Key()), c, n.net.Info(n.id))
+}
+
+// ProvideDirect advertises without the iterative walk, sending
+// AddProvider straight to a known resolver set — the behaviour of the
+// accelerated DHT client used by large re-providers (web3.storage-class
+// platforms maintain a full routing table and skip the per-CID walk,
+// which is why the paper's Hydra sees 40% ADD_PROVIDER but only 3%
+// FIND_NODE traffic). Returns the resolvers that accepted the record.
+func (n *Node) ProvideDirect(c ids.CID, resolvers []ids.PeerID) []ids.PeerID {
+	rec := netsim.ProviderRecord{Provider: n.net.Info(n.id), Received: n.net.Clock.Now()}
+	var accepted []ids.PeerID
+	for _, r := range resolvers {
+		if err := n.net.AddProvider(n.id, r, c, rec); err == nil {
+			accepted = append(accepted, r)
+		}
+	}
+	return accepted
+}
+
+// FindProviders resolves c via the DHT.
+func (n *Node) FindProviders(c ids.CID, opts dht.FindProvidersOpts) ([]netsim.ProviderRecord, dht.WalkStats) {
+	return n.walker.FindProviders(n.seedInfos(c.Key()), c, opts)
+}
+
+// --- Blockstore ---
+
+// AddBlock stores content locally.
+func (n *Node) AddBlock(c ids.CID) { n.blocks[c] = true }
+
+// HasBlock reports whether the node stores c.
+func (n *Node) HasBlock(c ids.CID) bool { return n.blocks[c] }
+
+// RemoveBlock drops content (garbage collection).
+func (n *Node) RemoveBlock(c ids.CID) { delete(n.blocks, c) }
+
+// Blocks returns the number of blocks stored.
+func (n *Node) Blocks() int { return len(n.blocks) }
+
+// --- Bitswap neighbours ---
+
+// ConnectBitswap records a (one-directional) Bitswap connection to p.
+// Scenario code calls it on both ends for a bidirectional link. It
+// returns false when the connection manager is at capacity.
+func (n *Node) ConnectBitswap(p ids.PeerID) bool {
+	if p == n.id || p.IsZero() {
+		return false
+	}
+	if n.bitswapPeers[p] {
+		return true
+	}
+	if n.cfg.MaxBitswapPeers > 0 && len(n.bitswapPeers) >= n.cfg.MaxBitswapPeers {
+		return false
+	}
+	n.bitswapPeers[p] = true
+	n.bitswapSorted = nil
+	return true
+}
+
+// DisconnectBitswap removes a Bitswap connection.
+func (n *Node) DisconnectBitswap(p ids.PeerID) {
+	if n.bitswapPeers[p] {
+		delete(n.bitswapPeers, p)
+		n.bitswapSorted = nil
+	}
+}
+
+// BitswapPeers returns the current neighbour set in deterministic
+// (key-sorted) order.
+func (n *Node) BitswapPeers() []ids.PeerID {
+	if n.bitswapSorted == nil {
+		n.bitswapSorted = make([]ids.PeerID, 0, len(n.bitswapPeers))
+		for p := range n.bitswapPeers {
+			n.bitswapSorted = append(n.bitswapSorted, p)
+		}
+		sort.Slice(n.bitswapSorted, func(i, j int) bool {
+			return n.bitswapSorted[i].Key().Cmp(n.bitswapSorted[j].Key()) < 0
+		})
+	}
+	return n.bitswapSorted
+}
+
+// --- Content retrieval (the two-step process from Section 2) ---
+
+// RetrieveResult describes how a retrieval concluded.
+type RetrieveResult struct {
+	// Found reports whether the content was obtained.
+	Found bool
+	// ViaBitswap is true when the 1-hop Bitswap broadcast located the
+	// block without a DHT walk.
+	ViaBitswap bool
+	// Provider is the peer the block came from.
+	Provider ids.PeerID
+	// WantsSent counts Bitswap WANT messages broadcast in step 1.
+	WantsSent int
+	// Walk carries DHT walk statistics for step 2 (zero if skipped).
+	Walk dht.WalkStats
+}
+
+// Retrieve downloads c: first a 1-hop Bitswap broadcast to all connected
+// neighbours, then — if that fails — a DHT FindProviders walk followed by
+// direct Bitswap requests to discovered providers. On success the node
+// stores the block and (matching IPFS defaults) becomes a provider,
+// advertising itself when reprovide is true.
+func (n *Node) Retrieve(c ids.CID, reprovide bool) RetrieveResult {
+	var res RetrieveResult
+	if n.blocks[c] {
+		res.Found = true
+		res.Provider = n.id
+		return res
+	}
+
+	// Step 1: Bitswap broadcast.
+	for _, p := range n.BitswapPeers() {
+		has, err := n.net.BitswapWant(n.id, p, c)
+		res.WantsSent++
+		if err == nil && has {
+			res.Found = true
+			res.ViaBitswap = true
+			res.Provider = p
+			break
+		}
+	}
+
+	// Step 2: DHT resolution.
+	if !res.Found {
+		recs, stats := n.FindProviders(c, dht.FindProvidersOpts{})
+		res.Walk = stats
+		for _, r := range recs {
+			if r.Provider.ID == n.id {
+				continue
+			}
+			has, err := n.net.BitswapWant(n.id, r.Provider.ID, c)
+			if err != nil || !has {
+				continue
+			}
+			res.Found = true
+			res.Provider = r.Provider.ID
+			break
+		}
+	}
+
+	if res.Found {
+		n.blocks[c] = true
+		if reprovide {
+			n.Provide(c)
+		}
+	}
+	return res
+}
+
+// ExpireProviders drops expired provider records; scenarios call it
+// periodically (the store also filters on read).
+func (n *Node) ExpireProviders() { n.providers.Expire(n.net.Clock.Now()) }
+
+// ProviderRecordCount returns the number of live provider records held.
+func (n *Node) ProviderRecordCount() int {
+	return n.providers.Len(n.net.Clock.Now())
+}

@@ -1,0 +1,90 @@
+package node
+
+import (
+	"tcsb/internal/ids"
+	"tcsb/internal/netsim"
+)
+
+// ProviderStore holds provider records with TTL expiry, as every DHT
+// server does for the CIDs it is a resolver for. Records are keyed by
+// (CID, provider): a re-advertisement refreshes the existing record.
+type ProviderStore struct {
+	ttl  netsim.Time
+	recs map[ids.CID]map[ids.PeerID]netsim.ProviderRecord
+}
+
+// NewProviderStore creates a store with the given record TTL.
+func NewProviderStore(ttl netsim.Time) *ProviderStore {
+	if ttl <= 0 {
+		panic("node: provider TTL must be positive")
+	}
+	return &ProviderStore{ttl: ttl, recs: make(map[ids.CID]map[ids.PeerID]netsim.ProviderRecord)}
+}
+
+// Put stores or refreshes a record.
+func (s *ProviderStore) Put(c ids.CID, rec netsim.ProviderRecord) {
+	m := s.recs[c]
+	if m == nil {
+		m = make(map[ids.PeerID]netsim.ProviderRecord)
+		s.recs[c] = m
+	}
+	m[rec.Provider.ID] = rec
+}
+
+// Get returns the unexpired records for c at time now, pruning expired
+// ones as a side effect. Order is deterministic (ascending provider key).
+func (s *ProviderStore) Get(c ids.CID, now netsim.Time) []netsim.ProviderRecord {
+	m := s.recs[c]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]netsim.ProviderRecord, 0, len(m))
+	for pid, rec := range m {
+		if now-rec.Received >= s.ttl {
+			delete(m, pid)
+			continue
+		}
+		out = append(out, rec)
+	}
+	if len(m) == 0 {
+		delete(s.recs, c)
+	}
+	// Deterministic ordering for the single-threaded simulator.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Provider.ID.Key().Cmp(out[j-1].Provider.ID.Key()) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Expire prunes every expired record.
+func (s *ProviderStore) Expire(now netsim.Time) {
+	for c, m := range s.recs {
+		for pid, rec := range m {
+			if now-rec.Received >= s.ttl {
+				delete(m, pid)
+			}
+		}
+		if len(m) == 0 {
+			delete(s.recs, c)
+		}
+	}
+}
+
+// Len returns the number of live records at time now.
+func (s *ProviderStore) Len(now netsim.Time) int {
+	total := 0
+	for _, m := range s.recs {
+		for _, rec := range m {
+			if now-rec.Received < s.ttl {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// CIDs returns the number of distinct CIDs with at least one stored
+// (possibly expired) record.
+func (s *ProviderStore) CIDs() int { return len(s.recs) }

@@ -1,0 +1,165 @@
+// Package report renders experiment results as aligned text tables and
+// CSV — the output format of cmd/tcsb-experiments and the source of the
+// numbers recorded in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tcsb/internal/stats"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) && len(cell) < widths[i] {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (no escaping beyond
+// replacing embedded commas; cell content here is controlled).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = clean(c)
+	}
+	sb.WriteString(strings.Join(cols, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = clean(c)
+		}
+		sb.WriteString(strings.Join(cells, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// SharesTable renders a label→share map as a table sorted by descending
+// share.
+func SharesTable(title, labelCol string, shares map[string]float64) *Table {
+	t := &Table{Title: title, Columns: []string{labelCol, "share"}}
+	items := stats.MapToItems(shares)
+	for _, it := range items {
+		t.AddRow(it.Label, Pct(it.Count))
+	}
+	return t
+}
+
+// CountsTable renders a label→count map sorted by descending count, with
+// a share column.
+func CountsTable(title, labelCol string, counts map[string]float64) *Table {
+	t := &Table{Title: title, Columns: []string{labelCol, "count", "share"}}
+	var total float64
+	for _, v := range counts {
+		total += v
+	}
+	for _, it := range stats.MapToItems(counts) {
+		share := 0.0
+		if total > 0 {
+			share = it.Count / total
+		}
+		t.AddRow(it.Label, fmt.Sprintf("%.1f", it.Count), Pct(share))
+	}
+	return t
+}
+
+// CurveTable samples a Pareto curve at round top-fractions.
+func CurveTable(title string, curve []stats.ParetoPoint, fractions []float64) *Table {
+	t := &Table{Title: title, Columns: []string{"top % of entities", "% of weight"}}
+	for _, f := range fractions {
+		t.AddRow(Pct(f), Pct(stats.ParetoShareAt(curve, f)))
+	}
+	return t
+}
+
+// CDFTable samples an empirical CDF at the given values.
+func CDFTable(title, valueCol string, cdf []stats.CDFPoint, at []float64) *Table {
+	t := &Table{Title: title, Columns: []string{valueCol, "CDF"}}
+	for _, x := range at {
+		t.AddRow(fmt.Sprintf("%.0f", x), Pct(stats.CDFAt(cdf, x)))
+	}
+	return t
+}
+
+// HistTable renders an int-keyed histogram in key order.
+func HistTable(title, keyCol string, hist map[int]int) *Table {
+	t := &Table{Title: title, Columns: []string{keyCol, "count"}}
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		t.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%d", hist[k]))
+	}
+	return t
+}

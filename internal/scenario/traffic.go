@@ -1,0 +1,397 @@
+package scenario
+
+import (
+	"tcsb/internal/crawler"
+	"tcsb/internal/dht"
+	"tcsb/internal/ids"
+	"tcsb/internal/netsim"
+	"tcsb/internal/stats"
+)
+
+// TickSeconds is the virtual duration of one tick (an hour).
+const TickSeconds = 3600
+
+// TicksPerDay is the number of ticks per virtual day.
+const TicksPerDay = 24
+
+// Tick returns the current tick index.
+func (w *World) Tick() int { return w.tick }
+
+// Day returns the current virtual day index.
+func (w *World) Day() int { return w.tick / TicksPerDay }
+
+// StepTick advances the world by one hour: churn, content lifecycle,
+// request traffic, platform advertisement, and Hydra cache filling.
+func (w *World) StepTick() {
+	w.stepChurn()
+	w.stepContent()
+	w.stepRequests()
+	w.stepPlatformAdvertise()
+	w.Hydra.ProcessPending(128)
+	for _, h := range w.PLHydras {
+		h.ProcessPending(128)
+	}
+	if w.tick%TicksPerDay == TicksPerDay-1 {
+		w.refreshTopology()
+		// The catalogue grew; rebuild the popularity samplers over it so
+		// newly published content becomes requestable (rank order keeps
+		// platform content at the head).
+		w.zipf = stats.NewZipfApprox(w.Rng, w.Cfg.ZipfExponent, len(w.catalog))
+		w.zipfTail = stats.NewZipfApprox(w.Rng, 0.35, len(w.catalog))
+	}
+	w.tick++
+	w.Net.Clock.Advance(TickSeconds)
+}
+
+// RunDays advances the world by d full days, invoking afterDay (if
+// non-nil) at the end of each.
+func (w *World) RunDays(d int, afterDay func(day int)) {
+	for i := 0; i < d; i++ {
+		for t := 0; t < TicksPerDay; t++ {
+			w.StepTick()
+		}
+		if afterDay != nil {
+			afterDay(w.Day() - 1)
+		}
+	}
+}
+
+// stepChurn flips actor liveness with per-class probabilities and applies
+// the residential behaviours the counting methodologies disagree about:
+// IP rotation and peer-ID regeneration on re-join.
+func (w *World) stepChurn() {
+	for _, id := range append([]ids.PeerID(nil), w.order...) {
+		a := w.Actors[id]
+		if a == nil {
+			continue // regenerated earlier this tick
+		}
+		if a.Platform != "" {
+			continue // platform and gateway nodes are professionally run
+		}
+		offP, onP := w.Cfg.CloudOfflineProb, w.Cfg.CloudOnlineProb
+		if !a.Cloud {
+			offP, onP = w.Cfg.NonCloudOfflineProb, w.Cfg.NonCloudOnlineProb
+		}
+		if a.Online {
+			if w.Rng.Float64() < offP {
+				a.Online = false
+				w.Net.SetOnline(a.ID, false)
+			}
+			continue
+		}
+		if w.Rng.Float64() >= onP {
+			continue
+		}
+		// Re-join.
+		if !a.Cloud && w.Rng.Float64() < w.Cfg.RegenerateIDProb {
+			w.regenerateActor(a)
+			continue
+		}
+		rotateP := w.Cfg.RotateIPProb
+		if a.NAT {
+			rotateP *= 0.35 // home users' NAT leases are longer-lived
+		}
+		if !a.Cloud && w.Rng.Float64() < rotateP {
+			w.rotateIP(a)
+		}
+		a.Online = true
+		w.Net.SetOnline(a.ID, true)
+		w.fillTableOf(a)
+	}
+}
+
+// rotateIP gives a residential actor a fresh address (DHCP re-lease).
+func (w *World) rotateIP(a *Actor) {
+	a.IP = w.Alloc.ResidentialIP(a.Country)
+	if a.NAT {
+		w.attachClient(a) // advertised circuit addr carries the relay's IP
+		return
+	}
+	w.Net.SetAddrs(a.ID, addrList(a.IP))
+}
+
+// regenerateActor replaces a residential actor with a fresh identity (and
+// usually a fresh IP), modelling users whose nodes come back as brand-new
+// peers.
+func (w *World) regenerateActor(old *Actor) {
+	w.Net.Detach(old.ID)
+	delete(w.Actors, old.ID)
+
+	id := w.nextPeerID()
+	a := &Actor{
+		ID: id, NAT: old.NAT, Cloud: false,
+		Provider: old.Provider, Country: old.Country,
+		Online: true, activity: old.activity,
+	}
+	a.IP = w.Alloc.ResidentialIP(a.Country)
+	a.Node = newNodeFor(w, a, old.NAT)
+	// Replace in the order and role slices, keeping positions stable for
+	// determinism.
+	for i, x := range w.order {
+		if x == old.ID {
+			w.order[i] = id
+			break
+		}
+	}
+	if old.NAT {
+		a.Relay = w.randomServer()
+		w.attachClient(a)
+		for i, x := range w.clients {
+			if x == old.ID {
+				w.clients[i] = id
+				break
+			}
+		}
+	} else {
+		w.Net.Attach(id, a.Node, netsim.HostConfig{
+			Reachable: true,
+			Addrs:     addrList(a.IP),
+		})
+		for i, x := range w.servers {
+			if x == old.ID {
+				w.servers[i] = id
+				break
+			}
+		}
+		w.rebuildRing()
+	}
+	w.Actors[id] = a
+	w.fillTableOf(a)
+	a.Node.ConnectBitswap(w.Monitor.ID())
+	for j := 0; j < w.Cfg.BitswapDegree; j++ {
+		other := w.order[w.Rng.Intn(len(w.order))]
+		if other != id {
+			a.Node.ConnectBitswap(other)
+		}
+	}
+}
+
+// stepContent ages the catalogue: expired user content is dropped by its
+// owner, and a trickle of new user content is published.
+func (w *World) stepContent() {
+	liveOut := w.live[:0]
+	for _, idx := range w.live {
+		e := &w.catalog[idx]
+		if !e.persistent && w.tick >= e.dieTick {
+			if owner := w.Actors[e.owner]; owner != nil {
+				owner.Node.RemoveBlock(e.cid)
+			}
+			continue
+		}
+		liveOut = append(liveOut, idx)
+	}
+	w.live = liveOut
+	births := 1 + w.Cfg.UserCIDs/60
+	for i := 0; i < births; i++ {
+		w.publishUserContent()
+	}
+}
+
+// pickRequestCID draws a CID (dead content included — requests for
+// vanished CIDs are normal and feed the Hydra amplification), sometimes
+// entirely bogus. Direct users request head-of-distribution content
+// (resolved mostly via Bitswap broadcasts); gateways front the world's
+// HTTP users and therefore sample much deeper into the tail, where DHT
+// walks are needed.
+func (w *World) pickRequestCID(tail bool) ids.CID {
+	if w.Rng.Float64() < w.Cfg.BogusCIDFrac {
+		return w.nextCID() // never provided by anyone
+	}
+	// Most retrievals target content that is currently being shared
+	// (live); the remainder follow the rank distribution over the whole
+	// catalogue, dead entries included — requests for vanished CIDs are
+	// normal traffic and feed the Hydra amplification.
+	liveP := 0.20
+	if tail {
+		liveP = 0.55
+	}
+	if len(w.live) > 0 && w.Rng.Float64() < liveP {
+		return w.catalog[w.live[w.Rng.Intn(len(w.live))]].cid
+	}
+	var idx int
+	if tail {
+		idx = w.zipfTail.Draw()
+	} else {
+		idx = w.zipf.Draw()
+	}
+	if idx >= len(w.catalog) {
+		idx = len(w.catalog) - 1
+	}
+	return w.catalog[idx].cid
+}
+
+// stepRequests generates the tick's retrieval traffic.
+func (w *World) stepRequests() {
+	for i := 0; i < w.Cfg.RequestsPerTick; i++ {
+		if w.Rng.Float64() < w.Cfg.GatewayTrafficShare {
+			w.gatewayFetch(w.pickRequestCID(true))
+			continue
+		}
+		c := w.pickRequestCID(false)
+		a := w.weightedRequester()
+		if a == nil {
+			continue
+		}
+		res := a.Node.Retrieve(c, false)
+		// IPFS clients become providers for what they download; the
+		// reprovider runs in batches (every 12-22h), modelled as a
+		// throttled direct re-advertisement. Home users hold on to
+		// content longer than ephemeral cloud workers.
+		reprovideP := 0.1
+		if !a.Cloud {
+			reprovideP = 0.3
+		}
+		if res.Found && w.Rng.Float64() < reprovideP {
+			a.Node.ProvideDirect(c, w.resolversFor(c))
+		}
+	}
+}
+
+// gatewayFetch routes an HTTP retrieval to a gateway: the ipfs-bank-style
+// platform takes the lion's share, then the CDN gateway, then the rest.
+func (w *World) gatewayFetch(c ids.CID) {
+	r := w.Rng.Float64()
+	var gw = w.IPFSBank
+	switch {
+	case r < 0.55:
+		gw = w.IPFSBank
+	case r < 0.85:
+		gw = w.Gateways[0] // cloudflare-style
+	default:
+		gw = w.Gateways[w.Rng.Intn(len(w.Gateways))]
+	}
+	ok, nd := gw.FetchHTTPNode(c)
+	if ok && nd != nil && w.Rng.Float64() < 0.7 {
+		nd.ProvideDirect(c, w.resolversFor(c))
+	}
+}
+
+// resolversFor returns the online resolver set for a CID (the K closest
+// online servers, hydra heads included).
+func (w *World) resolversFor(c ids.CID) []ids.PeerID {
+	var out []ids.PeerID
+	for _, p := range w.nearestServers(c.Key(), 2*dht.K) {
+		if w.Net.Online(p) {
+			out = append(out, p)
+			if len(out) == dht.K {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// weightedRequester picks an online actor proportional to its activity
+// weight (platforms are much chattier than home users), via rejection
+// sampling against the max weight.
+func (w *World) weightedRequester() *Actor {
+	const maxActivity = 2
+	for tries := 0; tries < 128; tries++ {
+		id := w.order[w.Rng.Intn(len(w.order))]
+		a := w.Actors[id]
+		if a == nil || !a.Online {
+			continue
+		}
+		if w.Rng.Float64() < a.activity/maxActivity {
+			return a
+		}
+	}
+	return nil
+}
+
+// stepPlatformAdvertise is the daily reprovide pass (kubo re-advertises
+// all stored content every 12-22h; provider records expire after 24h).
+// Platform content is co-advertised by several cluster nodes via the
+// accelerated DHT client (ADD_PROVIDER straight to the resolvers, no
+// per-CID walk) — which is what makes a handful of platform peers appear
+// in most provider records (Fig. 15) and what dominates advertise-related
+// DHT traffic (Fig. 13). Ordinary owners re-advertise their own live
+// content, keeping NAT-ed and non-cloud provider records alive
+// (Figs. 14/16).
+func (w *World) stepPlatformAdvertise() {
+	every := w.Cfg.PlatformAdvertiseEvery
+	if every <= 0 || w.tick%every != every-1 {
+		return
+	}
+	for _, idx := range w.live {
+		e := &w.catalog[idx]
+		owner := w.Actors[e.owner]
+		if owner == nil || !owner.Online {
+			continue
+		}
+		resolvers := w.resolversFor(e.cid)
+		cluster := w.platformNodes[owner.Platform]
+		if e.persistent && len(cluster) > 0 {
+			// Persistent platform content: two cluster nodes co-provide,
+			// rotating with the CID index.
+			for j := 0; j < 2 && j < len(cluster); j++ {
+				nd := cluster[(idx+j)%len(cluster)]
+				nd.AddBlock(e.cid)
+				nd.ProvideDirect(e.cid, resolvers)
+			}
+			continue
+		}
+		owner.Node.ProvideDirect(e.cid, resolvers)
+	}
+}
+
+// refreshTopology re-fills neighbourhood buckets daily, modelling bucket
+// refreshes; churn ghosts remain in the far buckets of peers that have
+// not refreshed them, which is what crawls observe as uncrawlable leaves.
+func (w *World) refreshTopology() {
+	w.rebuildRing()
+	for _, id := range w.order {
+		a := w.Actors[id]
+		if a == nil || !a.Online {
+			continue
+		}
+		now := w.Net.Clock.Now()
+		for _, p := range w.nearestServers(a.ID.Key(), 24) {
+			if p != a.ID && w.Net.Online(p) {
+				a.Node.LearnPeer(p, now)
+			}
+		}
+	}
+}
+
+// CrawlerID is the overlay identity the world's crawler dials with.
+// Analyses exclude its traffic, as the authors exclude their own
+// measurement tools from the logs.
+func (w *World) CrawlerID() ids.PeerID {
+	return ids.PeerIDFromSeed(uint64(w.Cfg.Seed)<<48 + 0xc4a71)
+}
+
+// CollectorID is the provider-record collector's overlay identity.
+func (w *World) CollectorID() ids.PeerID {
+	return ids.PeerIDFromSeed(uint64(w.Cfg.Seed)<<48 + 0xc0113)
+}
+
+// Crawl performs one crawl of the world with a dedicated crawler
+// identity, seeded from stable gateway nodes.
+func (w *World) Crawl(id int) *crawler.Snapshot {
+	seeds := make([]netsim.PeerInfo, 0, 4)
+	for _, nd := range w.Gateways[0].Nodes() {
+		seeds = append(seeds, w.Net.Info(nd.ID()))
+		if len(seeds) == 3 {
+			break
+		}
+	}
+	return crawler.Crawl(w.Net, crawler.Config{
+		ID:        id,
+		CrawlerID: w.CrawlerID(),
+	}, seeds)
+}
+
+// FindProvidersExhaustive resolves all provider records for a CID using
+// the paper's modified FindProviders, from a neutral collector identity.
+func (w *World) FindProvidersExhaustive(c ids.CID) []netsim.ProviderRecord {
+	walker := dht.NewWalker(w.Net, w.CollectorID())
+	var seeds []netsim.PeerInfo
+	for _, p := range w.nearestServers(c.Key(), 8) {
+		if w.Net.Online(p) {
+			seeds = append(seeds, w.Net.Info(p))
+		}
+	}
+	recs, _ := walker.FindProviders(seeds, c, dht.FindProvidersOpts{Exhaustive: true})
+	return recs
+}

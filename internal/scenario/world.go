@@ -1,0 +1,700 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"tcsb/internal/dnssim"
+	"tcsb/internal/gateway"
+	"tcsb/internal/hydra"
+	"tcsb/internal/ids"
+	"tcsb/internal/ipdb"
+	"tcsb/internal/maddr"
+	"tcsb/internal/monitor"
+	"tcsb/internal/netsim"
+	"tcsb/internal/node"
+	"tcsb/internal/stats"
+)
+
+// Platform labels for the actors the paper identifies in Fig. 13.
+const (
+	PlatformWeb3Storage = "web3.storage"
+	PlatformNFTStorage  = "nft.storage"
+	PlatformIPFSBank    = "ipfs-bank.io"
+	PlatformFilebase    = "filebase.com"
+	PlatformPinata      = "pinata.cloud"
+)
+
+// Actor is one simulated participant and its ground-truth attributes.
+type Actor struct {
+	Node     *node.Node
+	ID       ids.PeerID
+	NAT      bool
+	Cloud    bool
+	Provider string // ipdb provider label (NonCloud for residential)
+	Country  string
+	Platform string // "" for ordinary peers
+	IP       netip.Addr
+	Relay    ids.PeerID // circuit relay for NAT actors
+	Online   bool
+	// Owned is the content this actor originally published.
+	Owned []ids.CID
+	// activity weights how often the actor issues requests.
+	activity float64
+}
+
+// catalogEntry tracks a published CID's lifecycle.
+type catalogEntry struct {
+	cid      ids.CID
+	owner    ids.PeerID
+	bornTick int
+	// dieTick is when the owner stops providing; ignored for persistent
+	// content.
+	dieTick int
+	// persistent marks platform/ENS content that never expires.
+	persistent bool
+}
+
+// World is a fully built simulated IPFS ecosystem.
+type World struct {
+	Cfg   Config
+	Rng   *rand.Rand
+	Net   *netsim.Network
+	DB    *ipdb.DB
+	Alloc *ipdb.Allocator
+	DNS   *dnssim.Universe
+
+	Actors  map[ids.PeerID]*Actor
+	order   []ids.PeerID // creation order, for deterministic iteration
+	servers []ids.PeerID // DHT servers (incl. platform + gateway nodes)
+	clients []ids.PeerID // NAT fringe
+	ring    []ids.PeerID // servers sorted by key (topology oracle)
+	Monitor *monitor.Monitor
+	// Hydra is the measurement vantage (logging) booster; PLHydras are
+	// the Protocol Labs production boosters.
+	Hydra    *hydra.Hydra
+	PLHydras []*hydra.Hydra
+	Gateways []*gateway.Gateway // [0] is the Cloudflare-style CDN gateway
+	// IPFSBank is the heavy HTTP platform gateway (also in Gateways, but
+	// NOT in the public gateway list: the paper discovers it via rDNS,
+	// not via the gateway checker).
+	IPFSBank *gateway.Gateway
+	// platformNodes maps storage platforms to their overlay nodes; the
+	// whole cluster co-advertises every catalogue CID.
+	platformNodes map[string][]*node.Node
+
+	catalog []catalogEntry
+	live    []int // indices into catalog of currently-provided CIDs
+	// zipf drives direct-user request popularity (head-heavy); zipfTail
+	// drives gateway request popularity (much flatter).
+	zipf     *stats.ZipfApprox
+	zipfTail *stats.ZipfApprox
+
+	tick    int
+	peerSeq uint64
+	cidSeq  uint64
+}
+
+// NewWorld builds the world: population, topology, platforms, gateways,
+// monitor, hydra, initial content. The clock starts at tick 0.
+func NewWorld(cfg Config) *World {
+	w := &World{
+		Cfg:    cfg,
+		Rng:    rand.New(rand.NewSource(cfg.Seed)),
+		Net:    netsim.New(),
+		DB:     ipdb.Default(),
+		DNS:    dnssim.NewUniverse(),
+		Actors: make(map[ids.PeerID]*Actor),
+	}
+	w.Alloc = ipdb.NewAllocator(w.DB, w.Rng)
+	w.peerSeq = uint64(cfg.Seed)<<32 + 1
+
+	w.buildServers()
+	w.buildPlatforms()
+	w.buildGateways()
+	w.buildMonitor()
+	w.buildHydra()
+	w.buildClients()
+	w.rebuildRing()
+	w.fillTopology()
+	w.wireBitswap()
+	w.seedContent()
+	return w
+}
+
+func (w *World) nextPeerID() ids.PeerID {
+	w.peerSeq++
+	return ids.PeerIDFromSeed(w.peerSeq)
+}
+
+func (w *World) nextCID() ids.CID {
+	w.cidSeq++
+	return ids.CIDFromSeed(uint64(w.Cfg.Seed)<<32 + w.cidSeq)
+}
+
+// pickWeighted draws a key from a weight map deterministically.
+func (w *World) pickWeighted(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	weights := make([]float64, len(keys))
+	for i, k := range keys {
+		weights[i] = m[k]
+	}
+	return keys[stats.WeightedChoice(w.Rng, weights)]
+}
+
+// cloudCountryFor picks a country for a provider, retrying the weighted
+// country draw against the provider's actual footprint.
+func (w *World) cloudCountryFor(provider string) string {
+	for i := 0; i < 32; i++ {
+		c := w.pickWeighted(w.Cfg.CloudCountryWeights)
+		if hasFootprint(provider, c) {
+			return c
+		}
+	}
+	return "" // allocator picks any of the provider's ranges
+}
+
+// hasFootprint reports whether the default address plan gives the
+// provider presence in the country. Determined empirically once; kept as
+// a fast lookup to avoid allocator panics.
+func hasFootprint(provider, country string) bool {
+	key := provider + "/" + country
+	return footprint[key]
+}
+
+var footprint = buildFootprint()
+
+func buildFootprint() map[string]bool {
+	out := make(map[string]bool)
+	db := ipdb.Default()
+	probe := rand.New(rand.NewSource(0xf007))
+	al := ipdb.NewAllocator(db, probe)
+	for _, p := range db.Providers() {
+		// Sample the provider's footprint.
+		for i := 0; i < 256; i++ {
+			ip := al.CloudIP(p, "")
+			info := db.Lookup(ip)
+			out[p+"/"+info.Country] = true
+		}
+	}
+	return out
+}
+
+// addServerActor creates a reachable DHT server actor.
+func (w *World) addServerActor(cloud bool, provider, country, platform string, activity float64) *Actor {
+	id := w.nextPeerID()
+	nd := node.New(id, w.Net, node.Config{DHTServer: true, ProviderTTL: providerTTL})
+	var ip netip.Addr
+	if cloud {
+		ip = w.Alloc.CloudIP(provider, country)
+	} else {
+		ip = w.Alloc.ResidentialIP(country)
+	}
+	info := w.DB.Lookup(ip)
+	a := &Actor{
+		Node: nd, ID: id, Cloud: cloud,
+		Provider: info.Provider, Country: info.Country,
+		Platform: platform, IP: ip, Online: true, activity: activity,
+	}
+	w.Net.Attach(id, nd, netsim.HostConfig{
+		Reachable: true,
+		Addrs:     []maddr.Addr{maddr.New(ip, maddr.TCP, 4001)},
+	})
+	if platform != "" {
+		w.DNS.RegisterRDNS(ip, dnssim.FormatPTR(ip, platform))
+	}
+	w.Actors[id] = a
+	w.order = append(w.order, id)
+	w.servers = append(w.servers, id)
+	return a
+}
+
+func (w *World) buildServers() {
+	for i := 0; i < w.Cfg.Servers; i++ {
+		if w.Rng.Float64() < w.Cfg.CloudServerFrac {
+			provider := w.pickWeighted(w.Cfg.ProviderWeights)
+			country := w.cloudCountryFor(provider)
+			w.addServerActor(true, provider, country, "", 0.25)
+		} else {
+			country := w.pickWeighted(w.Cfg.ResidentialCountryWeights)
+			w.addServerActor(false, "", country, "", 1.0)
+		}
+	}
+}
+
+// buildPlatforms creates the storage/pinning platform actors.
+func (w *World) buildPlatforms() {
+	w.platformNodes = make(map[string][]*node.Node)
+	spawn := func(n int, provider, platform string, activity float64) []*Actor {
+		out := make([]*Actor, n)
+		for i := 0; i < n; i++ {
+			out[i] = w.addServerActor(true, provider, "", platform, activity)
+			w.platformNodes[platform] = append(w.platformNodes[platform], out[i].Node)
+		}
+		return out
+	}
+	spawn(6, ipdb.AmazonAWS, PlatformWeb3Storage, 2)
+	spawn(5, ipdb.AmazonAWS, PlatformNFTStorage, 2)
+	spawn(4, ipdb.Choopa, PlatformFilebase, 2)
+	spawn(3, ipdb.AmazonAWS, PlatformPinata, 2)
+}
+
+// buildGateways creates the public HTTP gateway ecosystem and its DNS
+// footprint (frontends, passive DNS).
+func (w *World) buildGateways() {
+	mkNodes := func(n int, cloud bool, provider, platform string) []*node.Node {
+		nodes := make([]*node.Node, n)
+		for i := 0; i < n; i++ {
+			var a *Actor
+			if cloud {
+				a = w.addServerActor(true, provider, "", platform, 1)
+			} else {
+				country := w.pickWeighted(w.Cfg.ResidentialCountryWeights)
+				a = w.addServerActor(false, "", country, platform, 1)
+			}
+			nodes[i] = a.Node
+		}
+		return nodes
+	}
+	frontends := func(n int, provider string) []netip.Addr {
+		out := make([]netip.Addr, n)
+		for i := range out {
+			out[i] = w.Alloc.CloudIP(provider, "")
+		}
+		return out
+	}
+
+	// The Cloudflare-style CDN gateway: Cloudflare frontends AND
+	// Cloudflare-internal overlay IPs (the paper's observation that even
+	// the overlay side sits behind Cloudflare reverse proxies).
+	cf := gateway.New("cloudflare-ipfs.com",
+		frontends(6, ipdb.Cloudflare),
+		mkNodes(w.Cfg.CloudflareGatewayNodes, true, ipdb.Cloudflare, "cloudflare-ipfs.com"))
+	w.Gateways = append(w.Gateways, cf)
+
+	// ipfs.io, operated by Protocol Labs on cloud infra.
+	w.Gateways = append(w.Gateways, gateway.New("ipfs.io",
+		frontends(2, ipdb.AmazonAWS),
+		mkNodes(3, true, ipdb.AmazonAWS, "ipfs.io")))
+
+	// The ipfs-bank-style HTTP platform dominating Bitswap traffic.
+	w.IPFSBank = gateway.New(PlatformIPFSBank,
+		frontends(2, ipdb.AmazonAWS),
+		mkNodes(4, true, ipdb.AmazonAWS, PlatformIPFSBank))
+	w.Gateways = append(w.Gateways, w.IPFSBank)
+
+	// Small community gateways: mixed hosting, some non-cloud (the open
+	// ecosystem the paper calls commendable).
+	providers := []string{ipdb.Hetzner, ipdb.DigitalOcean, ipdb.OVH, ipdb.Vultr}
+	for i := 0; i < w.Cfg.SmallGateways; i++ {
+		domain := fmt.Sprintf("gw%d.ipfs-gateway.dev", i)
+		cloud := w.Rng.Float64() < 0.65
+		var nodes []*node.Node
+		var fronts []netip.Addr
+		if cloud {
+			p := providers[i%len(providers)]
+			nodes = mkNodes(1, true, p, domain)
+			fronts = []netip.Addr{w.actorOf(nodes[0]).IP}
+		} else {
+			nodes = mkNodes(1, false, "", domain)
+			fronts = []netip.Addr{w.actorOf(nodes[0]).IP}
+		}
+		w.Gateways = append(w.Gateways, gateway.New(domain, fronts, nodes))
+	}
+
+	// DNS footprint: every gateway's frontends are visible in passive DNS
+	// and as A records.
+	for _, gw := range w.Gateways {
+		ips := gw.FrontendIPs()
+		w.DNS.SetA(gw.Domain(), ips...)
+		for _, ip := range ips {
+			w.DNS.ObservePassive(gw.Domain(), ip)
+		}
+	}
+}
+
+func (w *World) actorOf(nd *node.Node) *Actor { return w.Actors[nd.ID()] }
+
+func (w *World) buildMonitor() {
+	id := w.nextPeerID()
+	w.Monitor = monitor.New(id, w.Net)
+	ip := w.Alloc.ResidentialIP("DE") // the paper's vantage point: Germany
+	w.Net.Attach(id, w.Monitor, netsim.HostConfig{
+		Reachable:        true,
+		UnlimitedInbound: true,
+		Addrs:            []maddr.Addr{maddr.New(ip, maddr.TCP, 4001)},
+	})
+}
+
+// PlatformHydra labels the Protocol Labs Hydra deployment in rDNS.
+const PlatformHydra = "hydra-booster.io"
+
+// buildHydra creates the Hydra boosters: w.Hydra is the authors'
+// measurement vantage (a modified Hydra that logs every incoming DHT
+// request), and w.PLHydras are the Protocol Labs production instances
+// whose cache-filling lookups make "hydra" dominate download-related DHT
+// traffic at the vantage point (Fig. 13). All are AWS-hosted, per the
+// paper.
+func (w *World) buildHydra() {
+	attach := func(h *hydra.Hydra) {
+		for _, head := range h.Heads() {
+			ip := w.Alloc.CloudIP(ipdb.AmazonAWS, "US")
+			w.Net.Attach(head, h, netsim.HostConfig{
+				Reachable: true,
+				Addrs:     []maddr.Addr{maddr.New(ip, maddr.TCP, 4001)},
+			})
+			w.DNS.RegisterRDNS(ip, dnssim.FormatPTR(ip, PlatformHydra))
+		}
+	}
+	w.Hydra = hydra.New(w.Net, uint64(w.Cfg.Seed)<<40+0x4d9a, hydra.Config{
+		Heads:            w.Cfg.HydraHeads,
+		ProactiveLookups: w.Cfg.HydraProactiveLookups,
+	})
+	attach(w.Hydra)
+	for i := 0; i < 6; i++ {
+		h := hydra.New(w.Net, uint64(w.Cfg.Seed)<<40+0x77e0+uint64(i)*0x1000, hydra.Config{
+			Heads:            w.Cfg.HydraHeads,
+			ProactiveLookups: true,
+		})
+		attach(h)
+		w.PLHydras = append(w.PLHydras, h)
+	}
+}
+
+// IsHydraHead reports whether p belongs to any Hydra deployment
+// (vantage or Protocol Labs).
+func (w *World) IsHydraHead(p ids.PeerID) bool {
+	if w.Hydra.IsHead(p) {
+		return true
+	}
+	for _, h := range w.PLHydras {
+		if h.IsHead(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildClients creates the NAT-ed DHT client fringe. Each client picks a
+// random DHT server as circuit relay; because ~80% of servers are cloud,
+// ~80% of NAT-ed providers end up relaying through cloud nodes — Fig. 14
+// bottom emerges rather than being hard-coded.
+func (w *World) buildClients() {
+	for i := 0; i < w.Cfg.NATClients; i++ {
+		id := w.nextPeerID()
+		nd := node.New(id, w.Net, node.Config{DHTServer: false, ProviderTTL: providerTTL})
+		country := w.pickWeighted(w.Cfg.ResidentialCountryWeights)
+		ip := w.Alloc.ResidentialIP(country)
+		relay := w.randomServer()
+		a := &Actor{
+			Node: nd, ID: id, NAT: true, Cloud: false,
+			Provider: ipdb.NonCloud, Country: country,
+			IP: ip, Relay: relay, Online: true, activity: 2.0,
+		}
+		w.attachClient(a)
+		w.Actors[id] = a
+		w.order = append(w.order, id)
+		w.clients = append(w.clients, id)
+	}
+}
+
+// attachClient registers a NAT actor with its circuit address.
+func (w *World) attachClient(a *Actor) {
+	relayIP := w.Net.PrimaryIP(a.Relay)
+	circuit := maddr.NewCircuit(relayIP, maddr.TCP, 4001, a.Relay.String())
+	w.Net.Attach(a.ID, a.Node, netsim.HostConfig{
+		Reachable: false,
+		Relay:     a.Relay,
+		SourceIP:  a.IP, // outbound connections expose the NAT's public side
+		Addrs:     []maddr.Addr{circuit},
+	})
+}
+
+// randomServer returns a uniformly random ordinary-or-platform server ID.
+func (w *World) randomServer() ids.PeerID {
+	return w.servers[w.Rng.Intn(len(w.servers))]
+}
+
+// rebuildRing refreshes the key-sorted server list used as the topology
+// oracle. Hydra heads are DHT servers too: they must be eligible
+// resolvers, or no provider record would ever land on a Hydra.
+func (w *World) rebuildRing() {
+	w.ring = append(w.ring[:0], w.servers...)
+	if w.Hydra != nil {
+		w.ring = append(w.ring, w.Hydra.Heads()...)
+		for _, h := range w.PLHydras {
+			w.ring = append(w.ring, h.Heads()...)
+		}
+	}
+	sort.Slice(w.ring, func(i, j int) bool {
+		return w.ring[i].Key().Cmp(w.ring[j].Key()) < 0
+	})
+}
+
+// fillTopology populates routing tables: every actor (and the Hydra)
+// learns its K nearest servers plus a random sample, approximating the
+// steady state that joins plus bucket refreshes produce. Stale entries
+// appear later through churn, exactly as in the wild.
+func (w *World) fillTopology() {
+	for _, id := range w.order {
+		a := w.Actors[id]
+		w.fillTableOf(a)
+	}
+	// Hydra learns broadly (it sees everyone's traffic).
+	var seeds []netsim.PeerInfo
+	for _, s := range w.servers {
+		seeds = append(seeds, w.Net.Info(s))
+	}
+	w.Hydra.Bootstrap(seeds)
+	for _, h := range w.PLHydras {
+		h.Bootstrap(seeds)
+	}
+	// Everyone learns a couple of hydra heads (they are ordinary DHT
+	// servers from the network's perspective).
+	var heads []ids.PeerID
+	heads = append(heads, w.Hydra.Heads()...)
+	for _, h := range w.PLHydras {
+		heads = append(heads, h.Heads()...)
+	}
+	for _, id := range w.order {
+		a := w.Actors[id]
+		for j := 0; j < 6; j++ {
+			a.Node.LearnPeer(heads[w.Rng.Intn(len(heads))], 0)
+		}
+	}
+}
+
+// fillTableOf gives one actor a realistic routing table: its K closest
+// servers (deep buckets, required for provide/lookup correctness) plus a
+// random spread (far buckets, required for O(log n) routing).
+func (w *World) fillTableOf(a *Actor) {
+	now := w.Net.Clock.Now()
+	for _, p := range w.nearestServers(a.ID.Key(), 24) {
+		if p != a.ID {
+			a.Node.LearnPeer(p, now)
+		}
+	}
+	for i := 0; i < 120; i++ {
+		p := w.servers[w.Rng.Intn(len(w.servers))]
+		if p != a.ID {
+			a.Node.LearnPeer(p, now)
+		}
+	}
+	// Filebase runs modified clients with very high connectivity: they
+	// also learn (and get learned by) far more peers, producing the
+	// high-in-degree outliers of Fig. 7.
+	if a.Platform == PlatformFilebase {
+		for i := 0; i < 2000 && i < len(w.servers); i++ {
+			other := w.Actors[w.servers[i]]
+			other.Node.LearnPeer(a.ID, now)
+			a.Node.LearnPeer(other.ID, now)
+		}
+	}
+}
+
+// nearestServers returns the n servers closest to target on the key ring
+// (exact via local sort of a window around the binary-search insertion
+// point — the ring is sorted by key, and XOR distance is locally
+// correlated with key order only near the target, so we widen the window
+// generously and sort).
+func (w *World) nearestServers(target ids.Key, n int) []ids.PeerID {
+	if len(w.ring) == 0 {
+		return nil
+	}
+	// Window of 8n around the insertion point covers the true n nearest
+	// under XOR with overwhelming probability for random keys; for exact
+	// behaviour at small scale just sort everything when the ring is
+	// small.
+	if len(w.ring) <= 8*n {
+		sorted := append([]ids.PeerID(nil), w.ring...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Key().Xor(target).Cmp(sorted[j].Key().Xor(target)) < 0
+		})
+		if n > len(sorted) {
+			n = len(sorted)
+		}
+		return sorted[:n]
+	}
+	i := sort.Search(len(w.ring), func(i int) bool {
+		return w.ring[i].Key().Cmp(target) >= 0
+	})
+	lo := i - 4*n
+	hi := i + 4*n
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(w.ring) {
+		hi = len(w.ring)
+	}
+	window := append([]ids.PeerID(nil), w.ring[lo:hi]...)
+	sort.Slice(window, func(a, b int) bool {
+		return window[a].Key().Xor(target).Cmp(window[b].Key().Xor(target)) < 0
+	})
+	if n > len(window) {
+		n = len(window)
+	}
+	return window[:n]
+}
+
+// wireBitswap sets up Bitswap neighbourhoods: ordinary nodes get
+// BitswapDegree random neighbours; gateways and platforms connect widely;
+// MonitorCoverage of all actors connect to the monitor.
+func (w *World) wireBitswap() {
+	all := w.order
+	for _, id := range all {
+		a := w.Actors[id]
+		deg := w.Cfg.BitswapDegree
+		if a.Platform != "" {
+			deg *= 4
+		}
+		for j := 0; j < deg; j++ {
+			other := all[w.Rng.Intn(len(all))]
+			if other != id {
+				a.Node.ConnectBitswap(other)
+				w.Actors[other].Node.ConnectBitswap(id)
+			}
+		}
+		if w.Rng.Float64() < w.Cfg.MonitorCoverage {
+			a.Node.ConnectBitswap(w.Monitor.ID())
+		}
+	}
+}
+
+// seedContent publishes the initial catalogue: persistent platform
+// content and an initial batch of ephemeral user content.
+func (w *World) seedContent() {
+	platformOwners := map[string][]*Actor{}
+	for _, id := range w.order {
+		a := w.Actors[id]
+		switch a.Platform {
+		case PlatformWeb3Storage, PlatformNFTStorage, PlatformFilebase, PlatformPinata:
+			platformOwners[a.Platform] = append(platformOwners[a.Platform], a)
+		}
+	}
+	for _, platform := range []string{PlatformWeb3Storage, PlatformNFTStorage, PlatformFilebase, PlatformPinata} {
+		owners := platformOwners[platform]
+		if len(owners) == 0 {
+			continue
+		}
+		n := w.Cfg.PlatformCIDs
+		if platform == PlatformFilebase || platform == PlatformPinata {
+			n /= 2
+		}
+		for i := 0; i < n; i++ {
+			c := w.nextCID()
+			owner := owners[w.Rng.Intn(len(owners))]
+			owner.Node.AddBlock(c)
+			owner.Node.Provide(c)
+			owner.Owned = append(owner.Owned, c)
+			w.catalog = append(w.catalog, catalogEntry{cid: c, owner: owner.ID, persistent: true})
+			w.live = append(w.live, len(w.catalog)-1)
+		}
+	}
+	// Initial user content: published by random actors (servers and NAT
+	// clients alike), short-lived. Ages are staggered as if the content
+	// had been published over the preceding days, so expiries spread out
+	// instead of arriving in a burst.
+	for i := 0; i < w.Cfg.UserCIDs; i++ {
+		w.publishUserContentAged(-w.Rng.Intn(48))
+	}
+	w.zipf = stats.NewZipfApprox(w.Rng, w.Cfg.ZipfExponent, len(w.catalog))
+	w.zipfTail = stats.NewZipfApprox(w.Rng, 0.35, len(w.catalog))
+}
+
+// publishUserContent creates one ephemeral user CID. Ownership skews
+// toward the user fringe — NAT-ed clients and non-cloud servers — which
+// is what puts NAT-ed and non-cloud providers into the provider-record
+// dataset (Figs. 14-16).
+func (w *World) publishUserContent() { w.publishUserContentAged(0) }
+
+// publishUserContentAged publishes a user CID as if it were created
+// ageOffset ticks from now (negative = in the past, for initial
+// staggering).
+func (w *World) publishUserContentAged(ageOffset int) {
+	a := w.pickPublisher()
+	if a == nil {
+		return
+	}
+	c := w.nextCID()
+	// Lifetime 1–3 days, matching Fig. 9's short CID lifetimes.
+	born := w.tick + ageOffset
+	life := 24 + w.Rng.Intn(48)
+	die := born + life
+	w.catalog = append(w.catalog, catalogEntry{
+		cid: c, owner: a.ID, bornTick: born, dieTick: die,
+	})
+	if die <= w.tick {
+		// Historical content that already expired: it remains in the
+		// catalogue (and keeps being requested) but is no longer
+		// provided by anyone.
+		return
+	}
+	a.Node.AddBlock(c)
+	// A growing share of nodes runs the accelerated DHT client; the rest
+	// publish with the standard iterative walk.
+	if w.Rng.Float64() < 0.4 {
+		a.Node.Provide(c)
+	} else {
+		a.Node.ProvideDirect(c, w.resolversFor(c))
+	}
+	a.Owned = append(a.Owned, c)
+	w.live = append(w.live, len(w.catalog)-1)
+}
+
+// addrList builds the advertised address list for a public node.
+func addrList(ip netip.Addr) []maddr.Addr {
+	return []maddr.Addr{maddr.New(ip, maddr.TCP, 4001)}
+}
+
+// providerTTL is the record expiry used by scenario nodes. Newer kubo
+// releases extended the 24h TTL; 36h also tolerates a missed daily
+// reprovide by a churny owner.
+const providerTTL = 36 * 3600
+
+// newNodeFor constructs the node.Node behind an actor.
+func newNodeFor(w *World, a *Actor, nat bool) *node.Node {
+	return node.New(a.ID, w.Net, node.Config{DHTServer: !nat, ProviderTTL: providerTTL})
+}
+
+// pickPublisher draws a content publisher: NAT clients, non-cloud
+// servers and the general population in paper-calibrated proportions
+// (Fig. 14: NAT-ed 35.6%, cloud 45%, non-cloud 18% of providers).
+func (w *World) pickPublisher() *Actor {
+	r := w.Rng.Float64()
+	for tries := 0; tries < 64; tries++ {
+		var id ids.PeerID
+		switch {
+		case r < 0.32 && len(w.clients) > 0:
+			id = w.clients[w.Rng.Intn(len(w.clients))]
+		case r < 0.58:
+			id = w.servers[w.Rng.Intn(len(w.servers))]
+			if a := w.Actors[id]; a == nil || a.Cloud {
+				continue
+			}
+		default:
+			id = w.order[w.Rng.Intn(len(w.order))]
+		}
+		if a := w.Actors[id]; a != nil && a.Online {
+			return a
+		}
+	}
+	return w.randomOnlineActor()
+}
+
+// randomOnlineActor picks a uniformly random online actor (nil if all
+// offline, which does not happen in practice).
+func (w *World) randomOnlineActor() *Actor {
+	for tries := 0; tries < 64; tries++ {
+		id := w.order[w.Rng.Intn(len(w.order))]
+		if a := w.Actors[id]; a.Online {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+// Package stats provides the small statistical toolkit the measurement
+// pipeline relies on: empirical CDFs, percentiles, Lorenz/Pareto curves for
+// traffic-centralization plots, histograms of categorical data, Zipf
+// sampling for content popularity, and confidence intervals for repeated
+// randomized experiments (e.g. the random node-removal runs behind Fig. 8).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CDFPoint is a single point on an empirical cumulative distribution:
+// Fraction of samples are <= Value.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF computes the empirical CDF of the samples. The input is not modified.
+// The result has one point per distinct value, in increasing order, with
+// Fraction strictly increasing to 1. An empty input yields nil.
+func CDF(samples []float64) []CDFPoint {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, 0, len(s))
+	n := float64(len(s))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		out = append(out, CDFPoint{Value: s[i], Fraction: float64(j) / n})
+		i = j
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF (as returned by CDF) at x: the fraction
+// of samples <= x. Points must be sorted by Value, which CDF guarantees.
+func CDFAt(points []CDFPoint, x float64) float64 {
+	// First point with Value > x; everything before it is <= x.
+	i := sort.Search(len(points), func(i int) bool { return points[i].Value > x })
+	if i == 0 {
+		return 0
+	}
+	return points[i-1].Fraction
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of the samples
+// using linear interpolation between order statistics. It panics on an
+// empty input or out-of-range p: percentiles of nothing are a caller bug.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		panic("stats: Percentile of empty sample set")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 for empty input.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator). It
+// returns 0 for fewer than two samples.
+func StdDev(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	m := Mean(samples)
+	var ss float64
+	for _, v := range samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(samples)-1))
+}
+
+// MeanCI95 returns the mean of the samples together with the half-width of
+// a 95% normal-approximation confidence interval. The paper uses exactly
+// this to report the band around the 10 random-removal repetitions in
+// Fig. 8.
+func MeanCI95(samples []float64) (mean, halfWidth float64) {
+	mean = Mean(samples)
+	if len(samples) < 2 {
+		return mean, 0
+	}
+	se := StdDev(samples) / math.Sqrt(float64(len(samples)))
+	return mean, 1.96 * se
+}
+
+// ParetoPoint is a point on a "simplified Pareto chart" in the paper's
+// sense: the top TopFraction of entities (sorted by descending weight)
+// account for WeightFraction of the total weight.
+type ParetoPoint struct {
+	TopFraction    float64
+	WeightFraction float64
+}
+
+// Pareto computes the cumulative weight share of entities ranked by
+// descending weight. weights need not be sorted; zero and negative weights
+// are treated as zero. The result has one point per entity. An empty or
+// all-zero input yields nil.
+func Pareto(weights []float64) []ParetoPoint {
+	if len(weights) == 0 {
+		return nil
+	}
+	w := append([]float64(nil), weights...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(w)))
+	var total float64
+	for i, v := range w {
+		if v < 0 {
+			w[i] = 0
+			continue
+		}
+		total += v
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]ParetoPoint, len(w))
+	var cum float64
+	n := float64(len(w))
+	for i, v := range w {
+		if v > 0 {
+			cum += v
+		}
+		out[i] = ParetoPoint{
+			TopFraction:    float64(i+1) / n,
+			WeightFraction: cum / total,
+		}
+	}
+	return out
+}
+
+// ParetoShareAt returns the fraction of total weight held by the top
+// `topFraction` of entities, interpolating between Pareto points. This is
+// how "the top 5% of peers generate 97% of traffic" style numbers are read
+// off the curve.
+func ParetoShareAt(points []ParetoPoint, topFraction float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	if topFraction <= 0 {
+		return 0
+	}
+	if topFraction >= 1 {
+		return points[len(points)-1].WeightFraction
+	}
+	i := sort.Search(len(points), func(i int) bool { return points[i].TopFraction >= topFraction })
+	if i == 0 {
+		// Scale the first point's share proportionally.
+		return points[0].WeightFraction * topFraction / points[0].TopFraction
+	}
+	if i == len(points) {
+		return points[len(points)-1].WeightFraction
+	}
+	a, b := points[i-1], points[i]
+	if b.TopFraction == a.TopFraction {
+		return b.WeightFraction
+	}
+	frac := (topFraction - a.TopFraction) / (b.TopFraction - a.TopFraction)
+	return a.WeightFraction + frac*(b.WeightFraction-a.WeightFraction)
+}
+
+// GiniFromPareto computes the Gini coefficient of the weight distribution
+// underlying a Pareto curve — a single-number centralization summary
+// (0 = perfectly equal, →1 = one entity holds everything).
+func GiniFromPareto(points []ParetoPoint) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	// The Pareto curve is the "reversed" Lorenz curve; integrate it via the
+	// trapezoid rule and convert. Area under Lorenz curve B relates to the
+	// area under the descending-cumulative curve A by A + B' symmetry:
+	// Gini = 2*A - 1 where A is the area under the descending curve.
+	var area float64
+	prev := ParetoPoint{0, 0}
+	for _, p := range points {
+		area += (p.TopFraction - prev.TopFraction) * (p.WeightFraction + prev.WeightFraction) / 2
+		prev = p
+	}
+	g := 2*area - 1
+	if g < 0 {
+		g = 0
+	}
+	if g > 1 {
+		g = 1
+	}
+	return g
+}
+
+// CountItem is one bar of a categorical histogram.
+type CountItem struct {
+	Label string
+	Count float64
+}
+
+// Shares converts raw counts into fractional shares of the total, keeping
+// the original order. An all-zero input returns zero shares.
+func Shares(items []CountItem) []CountItem {
+	var total float64
+	for _, it := range items {
+		total += it.Count
+	}
+	out := make([]CountItem, len(items))
+	for i, it := range items {
+		share := 0.0
+		if total > 0 {
+			share = it.Count / total
+		}
+		out[i] = CountItem{Label: it.Label, Count: share}
+	}
+	return out
+}
+
+// SortedByCount returns the items sorted by descending count, breaking
+// ties by label for determinism.
+func SortedByCount(items []CountItem) []CountItem {
+	out := append([]CountItem(nil), items...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// TopNWithOther keeps the n largest items (by count) and folds the rest
+// into an "other" bucket, mirroring how the paper's bar charts are drawn.
+func TopNWithOther(items []CountItem, n int, otherLabel string) []CountItem {
+	sorted := SortedByCount(items)
+	if len(sorted) <= n {
+		return sorted
+	}
+	out := append([]CountItem(nil), sorted[:n]...)
+	var rest float64
+	for _, it := range sorted[n:] {
+		rest += it.Count
+	}
+	out = append(out, CountItem{Label: otherLabel, Count: rest})
+	return out
+}
+
+// MapToItems converts a map of label→count into a deterministic,
+// descending-sorted item slice.
+func MapToItems(m map[string]float64) []CountItem {
+	items := make([]CountItem, 0, len(m))
+	for k, v := range m {
+		items = append(items, CountItem{Label: k, Count: v})
+	}
+	return SortedByCount(items)
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s, the canonical model for content popularity in P2P request
+// workloads. It wraps math/rand's generator with validation.
+type Zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+// NewZipf creates a Zipf sampler over n items with exponent s > 1 required
+// by math/rand; for s <= 1 use NewZipfApprox.
+func NewZipf(rng *rand.Rand, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf over non-positive item count")
+	}
+	if s <= 1 {
+		panic("stats: math/rand Zipf requires s > 1; use NewZipfApprox")
+	}
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1)), n: n}
+}
+
+// Draw returns a rank in [0, n).
+func (z *Zipf) Draw() int { return int(z.z.Uint64()) }
+
+// ZipfApprox samples from a general Zipf(s) distribution over n items via
+// inverse-CDF on precomputed weights. It supports any s > 0, including the
+// s ≈ 0.7–1.0 range typical of measured CID popularity.
+type ZipfApprox struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+// NewZipfApprox builds the sampler. O(n) memory; n is the catalogue size.
+func NewZipfApprox(rng *rand.Rand, s float64, n int) *ZipfApprox {
+	if n <= 0 {
+		panic("stats: Zipf over non-positive item count")
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &ZipfApprox{cum: cum, rng: rng}
+}
+
+// Draw returns a rank in [0, n): rank 0 is the most popular item.
+func (z *ZipfApprox) Draw() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// WeightedChoice picks an index in [0, len(weights)) with probability
+// proportional to its weight. Panics if all weights are zero or negative.
+func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("stats: WeightedChoice with no positive weights")
+	}
+	u := rng.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,78 @@
+package trace
+
+import "tcsb/internal/stats"
+
+// paretoShare sorts weights descending and reads off the cumulative share
+// at the given top fraction via the stats package.
+func paretoShare(weights []float64, topFraction float64) float64 {
+	return stats.ParetoShareAt(stats.Pareto(weights), topFraction)
+}
+
+// ParetoCurve builds the full "simplified Pareto chart" (the paper's
+// term) for an activity map: entities ranked by descending traffic, with
+// cumulative traffic share.
+func ParetoCurve[K comparable](activity map[K]int64) []stats.ParetoPoint {
+	weights := make([]float64, 0, len(activity))
+	for _, v := range activity {
+		weights = append(weights, float64(v))
+	}
+	return stats.Pareto(weights)
+}
+
+// SplitPareto builds Pareto curves for the whole population and for each
+// subgroup (e.g. "cloud" vs "non-cloud" IPs, or "gateway" vs
+// "non-gateway" peers), as drawn in Figs. 10 and 11.
+func SplitPareto[K comparable](activity map[K]int64, group func(K) string) map[string][]stats.ParetoPoint {
+	byGroup := make(map[string][]float64)
+	all := make([]float64, 0, len(activity))
+	for k, v := range activity {
+		w := float64(v)
+		all = append(all, w)
+		g := group(k)
+		byGroup[g] = append(byGroup[g], w)
+	}
+	out := make(map[string][]stats.ParetoPoint, len(byGroup)+1)
+	out["all"] = stats.Pareto(all)
+	for g, ws := range byGroup {
+		out[g] = stats.Pareto(ws)
+	}
+	return out
+}
+
+// GroupTrafficShare returns, for each subgroup, the fraction of total
+// traffic its members generate (e.g. cloud IPs generating ~85% of DHT
+// traffic in Fig. 11).
+func GroupTrafficShare[K comparable](activity map[K]int64, group func(K) string) map[string]float64 {
+	shares := make(map[string]float64)
+	var total float64
+	for k, v := range activity {
+		shares[group(k)] += float64(v)
+		total += float64(v)
+	}
+	if total == 0 {
+		return shares
+	}
+	for g := range shares {
+		shares[g] /= total
+	}
+	return shares
+}
+
+// GroupMemberShare returns, for each subgroup, the fraction of *entities*
+// (not traffic) that belong to it — the population counterpart used to
+// contrast "similar in number, much less active" (non-cloud nodes in
+// Fig. 11).
+func GroupMemberShare[K comparable](activity map[K]int64, group func(K) string) map[string]float64 {
+	shares := make(map[string]float64)
+	for k := range activity {
+		shares[group(k)]++
+	}
+	total := float64(len(activity))
+	if total == 0 {
+		return shares
+	}
+	for g := range shares {
+		shares[g] /= total
+	}
+	return shares
+}

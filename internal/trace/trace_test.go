@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"tcsb/internal/ids"
+	"tcsb/internal/netsim"
+)
+
+func ip(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestClassify(t *testing.T) {
+	cases := map[netsim.MsgType]Class{
+		netsim.MsgGetProviders: Download,
+		netsim.MsgBitswapWant:  Download,
+		netsim.MsgAddProvider:  Advertise,
+		netsim.MsgFindNode:     Other,
+	}
+	for mt, want := range cases {
+		if got := Classify(mt); got != want {
+			t.Errorf("Classify(%v) = %v, want %v", mt, got, want)
+		}
+	}
+	if Download.String() != "download" || Advertise.String() != "advertise" || Other.String() != "other" {
+		t.Error("class labels wrong")
+	}
+}
+
+func TestMix(t *testing.T) {
+	var l Log
+	for i := 0; i < 57; i++ {
+		l.Append(Event{Type: netsim.MsgGetProviders})
+	}
+	for i := 0; i < 40; i++ {
+		l.Append(Event{Type: netsim.MsgAddProvider})
+	}
+	for i := 0; i < 3; i++ {
+		l.Append(Event{Type: netsim.MsgFindNode})
+	}
+	mix := l.Mix()
+	if math.Abs(mix[Download]-0.57) > 1e-12 || math.Abs(mix[Advertise]-0.40) > 1e-12 || math.Abs(mix[Other]-0.03) > 1e-12 {
+		t.Fatalf("mix = %v", mix)
+	}
+}
+
+func TestDaysSeenHistogram(t *testing.T) {
+	var l Log
+	c1 := ids.CIDFromSeed(1) // seen on days 0 and 1
+	c2 := ids.CIDFromSeed(2) // seen only on day 0, twice
+	l.Append(Event{Time: 0, CID: c1, Type: netsim.MsgGetProviders})
+	l.Append(Event{Time: SecondsPerDay + 5, CID: c1, Type: netsim.MsgGetProviders})
+	l.Append(Event{Time: 10, CID: c2, Type: netsim.MsgGetProviders})
+	l.Append(Event{Time: 20, CID: c2, Type: netsim.MsgGetProviders})
+	// An event with no CID must be skipped.
+	l.Append(Event{Time: 30, Type: netsim.MsgFindNode})
+
+	hist := DaysSeenHistogram(&l, CIDKey)
+	if hist[1] != 1 || hist[2] != 1 {
+		t.Fatalf("hist = %v, want {1:1, 2:1}", hist)
+	}
+}
+
+func TestDaysSeenByIPAndPeer(t *testing.T) {
+	var l Log
+	p := ids.PeerIDFromSeed(1)
+	l.Append(Event{Time: 0, Peer: p, IP: ip("52.0.0.1")})
+	l.Append(Event{Time: 3 * SecondsPerDay, Peer: p, IP: ip("52.0.0.2")})
+	ipHist := DaysSeenHistogram(&l, IPKey)
+	if ipHist[1] != 2 {
+		t.Fatalf("ip hist = %v, want two 1-day IPs", ipHist)
+	}
+	peerHist := DaysSeenHistogram(&l, PeerKey)
+	if peerHist[2] != 1 {
+		t.Fatalf("peer hist = %v, want one 2-day peer", peerHist)
+	}
+}
+
+func TestActivityMaps(t *testing.T) {
+	var l Log
+	p1, p2 := ids.PeerIDFromSeed(1), ids.PeerIDFromSeed(2)
+	for i := 0; i < 9; i++ {
+		l.Append(Event{Peer: p1, IP: ip("52.0.0.1")})
+	}
+	l.Append(Event{Peer: p2, IP: ip("91.0.0.1")})
+	byPeer := l.ActivityByPeer()
+	if byPeer[p1] != 9 || byPeer[p2] != 1 {
+		t.Fatalf("byPeer = %v", byPeer)
+	}
+	byIP := l.ActivityByIP()
+	if byIP[ip("52.0.0.1")] != 9 {
+		t.Fatalf("byIP = %v", byIP)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	activity := map[string]int64{}
+	// 100 entities: one generates 901 messages, 99 generate 1 each.
+	activity["whale"] = 901
+	for i := 0; i < 99; i++ {
+		activity[string(rune('a'+i%26))+string(rune('0'+i/26))] = 1
+	}
+	got := TopShare(activity, 0.01) // top 1% = the whale
+	if math.Abs(got-0.901) > 1e-9 {
+		t.Fatalf("TopShare(1%%) = %v, want 0.901", got)
+	}
+	if got := TopShare(activity, 1.0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("TopShare(100%%) = %v", got)
+	}
+}
+
+func TestGroupShares(t *testing.T) {
+	activity := map[string]int64{
+		"cloud-a": 85, "cloud-b": 5, "home-a": 5, "home-b": 5,
+	}
+	group := func(k string) string {
+		if k[0] == 'c' {
+			return "cloud"
+		}
+		return "non-cloud"
+	}
+	traffic := GroupTrafficShare(activity, group)
+	if math.Abs(traffic["cloud"]-0.9) > 1e-12 {
+		t.Errorf("cloud traffic share = %v, want 0.9", traffic["cloud"])
+	}
+	members := GroupMemberShare(activity, group)
+	if members["cloud"] != 0.5 || members["non-cloud"] != 0.5 {
+		t.Errorf("member shares = %v", members)
+	}
+}
+
+func TestSplitPareto(t *testing.T) {
+	activity := map[string]int64{"c1": 80, "c2": 10, "h1": 5, "h2": 5}
+	group := func(k string) string {
+		if k[0] == 'c' {
+			return "cloud"
+		}
+		return "non-cloud"
+	}
+	curves := SplitPareto(activity, group)
+	if len(curves) != 3 {
+		t.Fatalf("got %d curves, want all+2 groups", len(curves))
+	}
+	if len(curves["all"]) != 4 || len(curves["cloud"]) != 2 {
+		t.Fatal("curve lengths wrong")
+	}
+	// Top 25% of all entities (= c1) hold 80% of traffic.
+	if got := curves["all"][0].WeightFraction; math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("top-1 share = %v, want 0.8", got)
+	}
+}
+
+func TestGroupShareAndUniqueIPShare(t *testing.T) {
+	var l Log
+	cloudIP, homeIP := ip("52.0.0.1"), ip("91.0.0.1")
+	for i := 0; i < 9; i++ {
+		l.Append(Event{IP: cloudIP, Type: netsim.MsgGetProviders})
+	}
+	l.Append(Event{IP: homeIP, Type: netsim.MsgGetProviders})
+
+	attr := func(a netip.Addr) string {
+		if a == cloudIP {
+			return "cloud"
+		}
+		return "non-cloud"
+	}
+	traffic := l.GroupShare(func(e Event) string { return attr(e.IP) })
+	if math.Abs(traffic["cloud"]-0.9) > 1e-12 {
+		t.Errorf("traffic share = %v", traffic)
+	}
+	unique := l.UniqueIPShare(attr)
+	if unique["cloud"] != 0.5 || unique["non-cloud"] != 0.5 {
+		t.Errorf("unique IP share = %v", unique)
+	}
+}
+
+func TestFilterAndMerge(t *testing.T) {
+	var a, b Log
+	a.Append(Event{Type: netsim.MsgGetProviders})
+	b.Append(Event{Type: netsim.MsgAddProvider})
+	a.Merge(&b)
+	if a.Len() != 2 {
+		t.Fatalf("merged len = %d", a.Len())
+	}
+	dl := a.Filter(func(e Event) bool { return e.Class() == Download })
+	if dl.Len() != 1 {
+		t.Fatalf("filtered len = %d", dl.Len())
+	}
+}
+
+func TestEmptyLogSafety(t *testing.T) {
+	var l Log
+	if len(l.Mix()) != 0 {
+		t.Error("empty mix should have no entries")
+	}
+	if got := l.GroupShare(func(Event) string { return "x" }); len(got) != 0 {
+		t.Error("empty group share should have no entries")
+	}
+	if TopShare(map[string]int64{}, 0.5) != 0 {
+		t.Error("TopShare over empty activity should be 0")
+	}
+}
+
+func BenchmarkDaysSeen(b *testing.B) {
+	var l Log
+	for i := 0; i < 100000; i++ {
+		l.Append(Event{
+			Time: int64(i%14) * SecondsPerDay,
+			CID:  ids.CIDFromSeed(uint64(i % 5000)),
+			Type: netsim.MsgGetProviders,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DaysSeenHistogram(&l, CIDKey)
+	}
+}
