@@ -1,23 +1,30 @@
 package tcsb_test
 
-// One benchmark per table and figure of the paper's evaluation, plus
-// ablation benches for the design choices called out in DESIGN.md. Each
-// Fig/Table bench re-derives its experiment from a shared observation
-// campaign (built once); the heavy benches (world construction, crawling,
-// collection) build their own fixtures.
+// Registry-driven benchmarks: every experiment registered in
+// internal/experiments gets a sub-benchmark deriving it from a shared
+// observation campaign (built once), so a newly registered experiment is
+// benchmarked with no wiring here. Ablation benches for the design
+// choices called out in DESIGN.md, plus the heavy pipeline benches
+// (world construction, crawling, collection), build their own fixtures.
 //
-// Run everything:   go test -bench=. -benchmem .
-// One experiment:   go test -bench=BenchmarkFig8Resilience .
+// Run everything:      go test -bench=. -benchmem .
+// All experiments:     go test -bench=BenchmarkExperiments .
+// One experiment:      go test -bench=BenchmarkExperiments/fig8 .
+// Parallel engine:     go test -bench=BenchmarkExperimentEngine .
 
 import (
+	"fmt"
 	"math/rand"
+	"net/netip"
 	"sync"
 	"testing"
 
+	"tcsb/internal/analysis"
 	"tcsb/internal/core"
 	"tcsb/internal/counting"
 	"tcsb/internal/crawler"
 	"tcsb/internal/dht"
+	"tcsb/internal/experiments"
 	"tcsb/internal/graph"
 	"tcsb/internal/hydra"
 	"tcsb/internal/ids"
@@ -52,199 +59,89 @@ func benchObservatory(b *testing.B) *core.Observatory {
 	return benchObs
 }
 
-// --- Tables and figures ---
+// --- Tables and figures (registry-driven) ---
 
-func BenchmarkTable1Counting(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		r := core.Table1()
-		if r.AN["DE"] != 0.5 {
-			b.Fatal("Table 1 regression")
+// BenchmarkExperiments runs every registered experiment as a
+// sub-benchmark: one Register() call in internal/experiments is all it
+// takes for a new experiment to appear here. Shared derived data is
+// memoized on the fixture, so these measure the warm (steady-state)
+// path; BenchmarkDerivations covers the cold path of the memoized
+// derivations themselves.
+func BenchmarkExperiments(b *testing.B) {
+	o := benchObservatory(b)
+	for _, e := range experiments.All() {
+		e := e
+		b.Run(e.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tables := e.Run(o); len(tables) == 0 {
+					b.Fatalf("%s produced no tables", e.Name)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentEngine measures the full catalog end-to-end at
+// increasing worker counts — the speedup the parallel runner buys over
+// the old serial print chain.
+func BenchmarkExperimentEngine(b *testing.B) {
+	o := benchObservatory(b)
+	for _, parallel := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", parallel), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run(o, nil, parallel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDerivations measures the shared derivations that
+// internal/core memoizes behind sync.Once, calling the underlying
+// builders directly so every iteration pays the full (cold) cost — the
+// warm-path experiment benches above would otherwise hide a regression
+// here after the first iteration.
+func BenchmarkDerivations(b *testing.B) {
+	o := benchObservatory(b)
+	lastSnap := o.Crawls.Snapshots[len(o.Crawls.Snapshots)-1]
+	b.Run("counting-dataset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = counting.FromSeries(&o.Crawls)
 		}
-	}
-}
-
-func BenchmarkSection3CrawlDataset(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s := o.Section3()
-		if s.Crawls == 0 {
-			b.Fatal("empty series")
+	})
+	b.Run("crawl-graph", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = graph.FromSnapshot(lastSnap)
 		}
-	}
-}
-
-func BenchmarkFig3CloudStatus(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig3CloudStatus()
-	}
-}
-
-func BenchmarkFig4CumulativeCrawls(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig4Cumulative()
-	}
-}
-
-func BenchmarkFig5CloudProviders(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig5CloudProviders()
-	}
-}
-
-func BenchmarkFig6Geolocation(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig6Geolocation()
-	}
-}
-
-func BenchmarkFig7DegreeDistribution(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig7Degrees()
-	}
-}
-
-func BenchmarkFig8Resilience(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig8Resilience()
-	}
-}
-
-func BenchmarkTrafficMix(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Section5Mix()
-	}
-}
-
-func BenchmarkFig9Frequency(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig9Frequency()
-	}
-}
-
-func BenchmarkFig10PeerPareto(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, _ = o.Fig10PeerPareto()
-	}
-}
-
-func BenchmarkFig11IPPareto(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, _ = o.Fig11IPPareto()
-	}
-}
-
-func BenchmarkFig12CloudPerTrafficType(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig12CloudPerTrafficType()
-	}
-}
-
-func BenchmarkFig13Platforms(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig13Platforms()
-	}
-}
-
-func BenchmarkFig14ProviderClass(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, _ = o.Fig14ProviderClass()
-	}
-}
-
-func BenchmarkFig15ProviderPopularity(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, _ = o.Fig15ProviderPopularity()
-	}
-}
-
-func BenchmarkFig16ContentCloud(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig16ContentCloud()
-	}
-}
-
-func BenchmarkFig17DNSLink(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig17DNSLink()
-	}
-}
-
-func BenchmarkFig18GatewayProviders(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig18GatewayProviders()
-	}
-}
-
-func BenchmarkFig19GatewayGeo(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig19GatewayGeo()
-	}
-}
-
-func BenchmarkFig20ENS(b *testing.B) {
-	o := benchObservatory(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = o.Fig20ENS()
-	}
+	})
+	b.Run("undirected-adjacency", func(b *testing.B) {
+		g := graph.FromSnapshot(lastSnap)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = g.Undirected()
+		}
+	})
+	b.Run("provider-profiles", func(b *testing.B) {
+		isCloud := func(ip netip.Addr) bool { return o.World.DB.Lookup(ip).Cloud() }
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = analysis.Profiles(&o.Records, isCloud)
+		}
+	})
+	b.Run("hydra-activity", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = o.HydraLog.ActivityByPeer()
+			_ = o.HydraLog.ActivityByIP()
+		}
+	})
 }
 
 // --- Heavy pipeline benches ---

@@ -1,27 +1,30 @@
-// Command tcsb-experiments regenerates every table and figure of the
-// paper's evaluation from a freshly simulated world, printing the same
-// rows/series the paper reports. See EXPERIMENTS.md for the
-// paper-vs-measured record.
+// Command tcsb-experiments regenerates the tables and figures of the
+// paper's evaluation from a freshly simulated world. Experiments live in
+// the internal/experiments registry; this command only selects, runs and
+// renders them. See EXPERIMENTS.md for the paper-vs-measured record.
 //
 // Usage:
 //
-//	tcsb-experiments [-seed N] [-scale F] [-days N] [-only fig13]
+//	tcsb-experiments -list
+//	tcsb-experiments [-seed N] [-scale F] [-days N] [-only fig3,fig13]
+//	                 [-parallel N] [-json]
+//
+// Output on stdout is a deterministic function of the flags and seed:
+// for the same selection it is byte-identical for every -parallel value
+// (timings and progress go to stderr).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
 	"time"
 
-	"tcsb/internal/analysis"
 	"tcsb/internal/core"
-	"tcsb/internal/report"
+	"tcsb/internal/experiments"
 	"tcsb/internal/scenario"
-	"tcsb/internal/stats"
-	"tcsb/internal/trace"
 )
 
 func main() {
@@ -29,15 +32,27 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "population scale factor (1.0 ≈ 1/12 of the real network)")
 	days := flag.Int("days", 10, "observation days")
 	only := flag.String("only", "", "comma-separated experiment filter (e.g. table1,fig3,fig13)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max experiments executed concurrently")
+	jsonOut := flag.Bool("json", false, "emit JSONL (one JSON object per table) instead of text tables")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
 
-	filter := map[string]bool{}
+	if *list {
+		fmt.Println(experiments.ListTable())
+		return
+	}
+
+	var names []string
 	for _, f := range strings.Split(*only, ",") {
 		if f = strings.TrimSpace(strings.ToLower(f)); f != "" {
-			filter[f] = true
+			names = append(names, f)
 		}
 	}
-	want := func(name string) bool { return len(filter) == 0 || filter[name] }
+	// Validate the selection before paying for the simulation.
+	if _, err := experiments.Select(names); err != nil {
+		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+		os.Exit(2)
+	}
 
 	cfg := scenario.DefaultConfig().Scaled(*scale)
 	cfg.Seed = *seed
@@ -48,364 +63,24 @@ func main() {
 		cfg.Servers, cfg.NATClients, rc.Days)
 	start := time.Now()
 	o := core.Observe(cfg, rc)
-	fmt.Fprintf(os.Stderr, "observation complete in %v (%d total RPCs)\n\n",
+	fmt.Fprintf(os.Stderr, "observation complete in %v (%d total RPCs)\n",
 		time.Since(start).Round(time.Millisecond), o.World.Net.TotalMessages())
 
-	if want("table1") {
-		printTable1()
+	runStart := time.Now()
+	results, err := experiments.Run(o, names, *parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+		os.Exit(2)
 	}
-	if want("section3") {
-		printSection3(o)
+	fmt.Fprintf(os.Stderr, "%d experiments in %v (parallel=%d)\n\n",
+		len(results), time.Since(runStart).Round(time.Millisecond), *parallel)
+
+	render := experiments.RenderText
+	if *jsonOut {
+		render = experiments.RenderJSONL
 	}
-	if want("fig3") {
-		printFig3(o)
-	}
-	if want("fig4") {
-		printFig4(o)
-	}
-	if want("fig5") {
-		printFig5(o)
-	}
-	if want("fig6") {
-		printFig6(o)
-	}
-	if want("fig7") {
-		printFig7(o)
-	}
-	if want("churn") {
-		printChurn(o)
-	}
-	if want("fig8") {
-		printFig8(o)
-	}
-	if want("section5") {
-		printSection5(o)
-	}
-	if want("fig9") {
-		printFig9(o)
-	}
-	if want("fig10") {
-		printFig10(o)
-	}
-	if want("fig11") {
-		printFig11(o)
-	}
-	if want("fig12") {
-		printFig12(o)
-	}
-	if want("fig13") {
-		printFig13(o)
-	}
-	if want("fig14") {
-		printFig14(o)
-	}
-	if want("fig15") {
-		printFig15(o)
-	}
-	if want("fig16") {
-		printFig16(o)
-	}
-	if want("fig17") {
-		printFig17(o)
-	}
-	if want("fig18") {
-		printFig18(o)
-	}
-	if want("fig19") {
-		printFig19(o)
-	}
-	if want("fig20") {
-		printFig20(o)
+	if err := render(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+		os.Exit(1)
 	}
 }
-
-func printTable1() {
-	r := core.Table1()
-	t := &report.Table{
-		Title:   "Table 1 — counting methodologies on the example dataset",
-		Columns: []string{"methodology", "DE", "US"},
-	}
-	t.AddRow("G-IP (paper: DE=2, US=2)", r.GIP["DE"], r.GIP["US"])
-	t.AddRow("A-N  (paper: DE=0.5, US=1)", r.AN["DE"], r.AN["US"])
-	fmt.Println(t)
-}
-
-func printSection3(o *core.Observatory) {
-	s := o.Section3()
-	t := &report.Table{
-		Title:   "Section 3 — crawl dataset shape (paper at 12x scale: 25771.6 disc / 17991.4 crawlable / 53898 peers / 86064 IPs / 1.82 IP-per-peer)",
-		Columns: []string{"metric", "value"},
-	}
-	t.AddRow("crawls", s.Crawls)
-	t.AddRow("mean discovered/crawl", fmt.Sprintf("%.1f", s.MeanDiscovered))
-	t.AddRow("mean crawlable/crawl", fmt.Sprintf("%.1f", s.MeanCrawlable))
-	t.AddRow("unique peer IDs", s.UniquePeers)
-	t.AddRow("unique IPs", s.UniqueIPs)
-	t.AddRow("mean IPs per peer", fmt.Sprintf("%.2f", s.MeanIPsPerPeer))
-	t.AddRow("modeled crawl duration (s)", fmt.Sprintf("%.1f", s.MeanModeledDur))
-	fmt.Println(t)
-}
-
-func printFig3(o *core.Observatory) {
-	r := o.Fig3CloudStatus()
-	agg := func(m map[string]float64) (cloud, non, both float64) {
-		for k, v := range m {
-			switch k {
-			case "non-cloud":
-				non += v
-			case "BOTH":
-				both += v
-			default:
-				cloud += v
-			}
-		}
-		return
-	}
-	t := &report.Table{
-		Title:   "Fig 3 — DHT participants by cloud status (paper: A-N 79.6% cloud / 18.6% non-cloud; G-IP 39.9% / 60.1%)",
-		Columns: []string{"methodology", "cloud", "non-cloud", "BOTH"},
-	}
-	c, n, b := agg(r.ANShares)
-	t.AddRow("A-N", report.Pct(c), report.Pct(n), report.Pct(b))
-	c, n, b = agg(r.GIPShares)
-	t.AddRow("G-IP", report.Pct(c), report.Pct(n), report.Pct(b))
-	fmt.Println(t)
-}
-
-func printFig4(o *core.Observatory) {
-	r := o.Fig4Cumulative()
-	t := &report.Table{
-		Title:   "Fig 4 — cloud share vs cumulative crawls (paper: A-N steady, G-IP declining)",
-		Columns: []string{"crawls", "A-N cloud share", "G-IP cloud share"},
-	}
-	for i := range r.AN {
-		if (i+1)%2 == 0 || i == 0 || i == len(r.AN)-1 {
-			t.AddRow(fmt.Sprintf("%d", r.AN[i].Crawls), report.Pct(r.AN[i].Value), report.Pct(r.GIP[i].Value))
-		}
-	}
-	fmt.Println(t)
-}
-
-func printFig5(o *core.Observatory) {
-	r := o.Fig5CloudProviders()
-	for _, tbl := range core.RenderDist("Fig 5 — nodes by cloud provider (paper A-N: choopa 29.3%, top-3 51.9%; G-IP choopa 13.8%)", r) {
-		fmt.Println(topN(tbl, 12))
-	}
-	fmt.Printf("top-3 provider share (A-N, excl. non-cloud/BOTH): %s\n\n",
-		report.Pct(core.TopNShare(r.AN, 3, "non-cloud", "BOTH")))
-}
-
-func printFig6(o *core.Observatory) {
-	r := o.Fig6Geolocation()
-	for _, tbl := range core.RenderDist("Fig 6 — nodes by country (paper A-N: US 47.4%, DE 13.7%, KR 5.2%, non-top-10 13.3%)", r) {
-		fmt.Println(topN(tbl, 12))
-	}
-}
-
-func printFig7(o *core.Observatory) {
-	r := o.Fig7Degrees()
-	t := &report.Table{
-		Title:   "Fig 7 — degree distribution (paper: out-degree in a tight band; in-degree p90 < ~500 with heavy tail)",
-		Columns: []string{"metric", "value"},
-	}
-	t.AddRow("out-degree p10", fmt.Sprintf("%.0f", r.OutP10))
-	t.AddRow("out-degree p90", fmt.Sprintf("%.0f", r.OutP90))
-	t.AddRow("in-degree p90", fmt.Sprintf("%.0f", r.InP90))
-	t.AddRow("in-degree max", fmt.Sprintf("%.0f", r.MaxIn))
-	fmt.Println(t)
-}
-
-func printChurn(o *core.Observatory) {
-	r := o.SectionChurn()
-	t := &report.Table{
-		Title:   "Section 4 — peer liveness by cloud status (paper: non-cloud nodes short-lived, IP-rotating)",
-		Columns: []string{"group", "peers", "mean uptime", "median sessions", "mean IPs/peer"},
-	}
-	for _, g := range r.Groups {
-		t.AddRow(g.Group, g.Peers, report.Pct(g.MeanUptime),
-			fmt.Sprintf("%.1f", g.MedianSessions), fmt.Sprintf("%.2f", g.MeanIPs))
-	}
-	fmt.Println(t)
-}
-
-func printFig8(o *core.Observatory) {
-	r := o.Fig8Resilience()
-	t := &report.Table{
-		Title:   "Fig 8 — resilience to node removal (paper: random 96% largest CC at 90% removed; targeted full partition at ~60%)",
-		Columns: []string{"removed", "random mean", "±95% CI", "targeted"},
-	}
-	for i, f := range r.Fractions {
-		t.AddRow(report.Pct(f), report.Pct(r.RandomMean[i]),
-			fmt.Sprintf("%.3f", r.RandomCI95[i]), report.Pct(r.Targeted[i]))
-	}
-	fmt.Println(t)
-	fmt.Printf("targeted full partition at: %s of nodes removed\n\n", report.Pct(r.FullPartitionAt))
-}
-
-func printSection5(o *core.Observatory) {
-	mix := o.Section5Mix()
-	t := &report.Table{
-		Title:   "Section 5 — DHT traffic mix at the Hydra vantage (paper: 57% download, 40% advertise, 3% other)",
-		Columns: []string{"class", "share"},
-	}
-	for _, cl := range []trace.Class{trace.Download, trace.Advertise, trace.Other} {
-		t.AddRow(cl.String(), report.Pct(mix[cl]))
-	}
-	fmt.Println(t)
-}
-
-func printFig9(o *core.Observatory) {
-	r := o.Fig9Frequency()
-	t := &report.Table{
-		Title:   "Fig 9 — identifier frequency in days seen (paper: most CIDs 1-3 days; IPs and peer IDs mostly short-lived)",
-		Columns: []string{"identifier", "seen <=3 days", "distinct"},
-	}
-	count := func(h map[int]int) int {
-		n := 0
-		for _, v := range h {
-			n += v
-		}
-		return n
-	}
-	t.AddRow("CID", report.Pct(core.ShortLivedShare(r.CIDDays, 3)), count(r.CIDDays))
-	t.AddRow("IP", report.Pct(core.ShortLivedShare(r.IPDays, 3)), count(r.IPDays))
-	t.AddRow("peerID", report.Pct(core.ShortLivedShare(r.PeerDays, 3)), count(r.PeerDays))
-	fmt.Println(t)
-}
-
-func printPareto(title string, r core.ParetoResult, groups []string) {
-	t := &report.Table{Title: title, Columns: []string{"metric", "value"}}
-	t.AddRow("top 5% traffic share", report.Pct(r.Top5Share))
-	for _, g := range groups {
-		t.AddRow("traffic share: "+g, report.Pct(r.GroupTraffic[g]))
-		t.AddRow("member share: "+g, report.Pct(r.GroupMembers[g]))
-	}
-	fmt.Println(t)
-}
-
-func printFig10(o *core.Observatory) {
-	dht, bs := o.Fig10PeerPareto()
-	printPareto("Fig 10a — DHT peerID Pareto (paper: top 5% ≈ 97% of traffic; gateway share ≈1%)",
-		dht, []string{"gateway", "non-gateway"})
-	printPareto("Fig 10b — Bitswap peerID Pareto (paper: gateway share ≈18%)",
-		bs, []string{"gateway", "non-gateway"})
-}
-
-func printFig11(o *core.Observatory) {
-	dht, bs := o.Fig11IPPareto()
-	printPareto("Fig 11a — DHT IP Pareto (paper: top 5% ≈ 94%; cloud ≈85% of traffic)",
-		dht, []string{"cloud", "non-cloud"})
-	printPareto("Fig 11b — Bitswap IP Pareto (paper: cloud ≈42% of traffic)",
-		bs, []string{"cloud", "non-cloud"})
-}
-
-func printFig12(o *core.Observatory) {
-	r := o.Fig12CloudPerTrafficType()
-	fmt.Printf("Fig 12 — cloud per traffic type (paper: ~35%% of IPs cloud, ~93%% of traffic cloud; AWS 68%% of download traffic)\n")
-	fmt.Printf("  cloud share by unique IPs:  %s\n", report.Pct(r.CloudByCount))
-	fmt.Printf("  cloud share by traffic:     %s\n\n", report.Pct(r.CloudByTraffic))
-	for _, cl := range []trace.Class{trace.Download, trace.Advertise} {
-		fmt.Println(topN(report.SharesTable(
-			fmt.Sprintf("Fig 12 — providers by unique IPs (%s)", cl), "provider", r.UniqueIPShares[cl]), 8))
-		fmt.Println(topN(report.SharesTable(
-			fmt.Sprintf("Fig 12 — providers by traffic volume (%s)", cl), "provider", r.TrafficShares[cl]), 8))
-	}
-}
-
-func printFig13(o *core.Observatory) {
-	r := o.Fig13Platforms()
-	fmt.Println(topN(report.SharesTable("Fig 13 — platforms, all DHT traffic (paper: hydra 35%)", "platform", r.DHTAll), 10))
-	fmt.Println(topN(report.SharesTable("Fig 13 — platforms, DHT download traffic (paper: hydra 50%)", "platform", r.DHTDownload), 10))
-	fmt.Println(topN(report.SharesTable("Fig 13 — platforms, DHT advertise traffic (paper: web3/nft.storage dominate)", "platform", r.DHTAdvertise), 10))
-	fmt.Println(topN(report.SharesTable("Fig 13 — platforms, Bitswap traffic (paper: ipfs-bank dominates)", "platform", r.Bitswap), 10))
-}
-
-func printFig14(o *core.Observatory) {
-	shares, relayCloud := o.Fig14ProviderClass()
-	t := &report.Table{
-		Title:   "Fig 14 — provider classification (paper: NAT-ed 35.6%, cloud 45%, non-cloud 18%, hybrid 0.6%; ~80% of relays cloud)",
-		Columns: []string{"class", "share"},
-	}
-	for _, cl := range []analysis.Class{analysis.NATed, analysis.CloudBased, analysis.NonCloudBased, analysis.Hybrid} {
-		t.AddRow(cl.String(), report.Pct(shares[cl]))
-	}
-	fmt.Println(t)
-	fmt.Printf("NAT-ed providers using cloud relays: %s\n\n", report.Pct(relayCloud))
-}
-
-func printFig15(o *core.Observatory) {
-	pareto, classShares := o.Fig15ProviderPopularity()
-	fmt.Println(report.CurveTable(
-		"Fig 15 — provider popularity Pareto (paper: top 1% of peers in ~90% of records)",
-		pareto, []float64{0.01, 0.05, 0.10, 0.25, 0.50}))
-	t := &report.Table{
-		Title:   "Fig 15 — record appearances by provider class (paper: cloud 70%, non-cloud 22%, NAT-ed <8%)",
-		Columns: []string{"class", "share of appearances"},
-	}
-	for _, cl := range []analysis.Class{analysis.CloudBased, analysis.NonCloudBased, analysis.NATed, analysis.Hybrid} {
-		t.AddRow(cl.String(), report.Pct(classShares[cl]))
-	}
-	fmt.Println(t)
-}
-
-func printFig16(o *core.Observatory) {
-	r := o.Fig16ContentCloud()
-	t := &report.Table{
-		Title:   "Fig 16 — CIDs by cloud reliance (paper: ≥1 cloud 95%, ≥half 91%, only-cloud 23%, ≥1 non-cloud 77%)",
-		Columns: []string{"metric", "value"},
-	}
-	t.AddRow("CIDs with providers", r.CIDs)
-	t.AddRow(">=1 cloud provider", report.Pct(r.AtLeastOneCloud))
-	t.AddRow(">=half cloud providers", report.Pct(r.MajorityCloud))
-	t.AddRow("only cloud providers", report.Pct(r.OnlyCloud))
-	t.AddRow(">=1 non-cloud provider", report.Pct(r.AtLeastOneNonCloud))
-	fmt.Println(t)
-}
-
-func printFig17(o *core.Observatory) {
-	r := o.Fig17DNSLink()
-	fmt.Println(topN(report.SharesTable(
-		"Fig 17a — DNSLink fronting IPs by provider (paper: cloudflare ~50%, non-cloud ~20%)",
-		"provider", r.ByProvider), 8))
-	fmt.Println(topN(report.SharesTable(
-		"Fig 17b — DNSLink domains by gateway (paper: non-gateway plurality, then cloudflare-ipfs.com)",
-		"gateway", r.ByGateway), 8))
-	fmt.Printf("DNSLink domains found: %d; share pointing at public gateways: %s\n\n",
-		r.Domains, report.Pct(r.GatewayIPShare))
-}
-
-func printFig18(o *core.Observatory) {
-	r := o.Fig18GatewayProviders()
-	fmt.Println(topN(report.SharesTable("Fig 18 — gateway frontend IPs by provider (paper: cloudflare dominates)", "provider", r.Frontend), 8))
-	fmt.Println(topN(report.SharesTable("Fig 18 — gateway overlay IPs by provider", "provider", r.Overlay), 8))
-}
-
-func printFig19(o *core.Observatory) {
-	r := o.Fig19GatewayGeo()
-	fmt.Println(topN(report.SharesTable("Fig 19 — gateway frontend IPs by country (paper: US+DE majority)", "country", r.Frontend), 8))
-	fmt.Println(topN(report.SharesTable("Fig 19 — gateway overlay IPs by country", "country", r.Overlay), 8))
-}
-
-func printFig20(o *core.Observatory) {
-	r := o.Fig20ENS()
-	fmt.Println(topN(report.SharesTable("Fig 20a — ENS content providers (paper: 82% cloud; choopa/vultr/contabo lead)", "provider", r.ByProvider), 8))
-	fmt.Println(topN(report.SharesTable("Fig 20b — ENS content provider countries (paper: US+DE ~60%)", "country", r.ByCountry), 8))
-	fmt.Printf("ENS records: %d; resolved CIDs: %d; unique provider IPs: %d; cloud share: %s\n\n",
-		r.Records, r.ResolvedCID, r.UniqueIPs, report.Pct(r.CloudShare))
-}
-
-// topN truncates a shares table to its n largest rows plus an "other"
-// aggregate for readability.
-func topN(t *report.Table, n int) *report.Table {
-	if len(t.Rows) <= n {
-		return t
-	}
-	rows := append([][]string(nil), t.Rows...)
-	sort.SliceStable(rows, func(i, j int) bool { return false }) // already sorted by SharesTable
-	out := &report.Table{Title: t.Title, Columns: t.Columns}
-	out.Rows = rows[:n]
-	out.AddRow("(+ smaller)", fmt.Sprintf("%d rows", len(rows)-n))
-	return out
-}
-
-var _ = stats.Pareto // keep stats linked for future extensions

@@ -9,12 +9,16 @@
 // data, passive DNS, Ethereum event logs), re-implementations of every
 // measurement tool the paper used (DHT crawler, Bitswap monitor, Hydra
 // booster, exhaustive provider-record collector, gateway prober, DNSLink
-// scanner, ENS extractor), and an experiment harness that regenerates
-// every table and figure of the paper's evaluation.
+// scanner, ENS extractor), and a registry-driven experiment engine
+// (internal/experiments) whose parallel runner regenerates every table
+// and figure of the paper's evaluation from one shared observation
+// campaign.
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured
-// results. The benchmarks in bench_test.go regenerate each experiment:
+// results (regenerable via `go run ./cmd/tcsb-experiments -json`). The
+// experiment registry also drives the benchmarks in bench_test.go:
 //
-//	go test -bench=Fig -benchmem .
+//	go test -bench=BenchmarkExperiments -benchmem .
+//	go test -bench=BenchmarkExperimentEngine .
 package tcsb

@@ -1,0 +1,3 @@
+module tcsb
+
+go 1.21

@@ -46,9 +46,9 @@ func Table1() Table1Result {
 	return Table1Result{GIP: d.GIP(attr), AN: d.AN(attr, counting.MajorityVote)}
 }
 
-// dataset returns the crawl dataset in counting form.
+// dataset returns the crawl dataset in counting form (memoized).
 func (o *Observatory) dataset() *counting.Dataset {
-	return counting.FromSeries(&o.Crawls)
+	return o.Dataset()
 }
 
 // --- Section 3 numbers ---
@@ -224,7 +224,7 @@ type Fig7Result struct {
 
 // Fig7Degrees analyses the degree distribution of the last snapshot.
 func (o *Observatory) Fig7Degrees() Fig7Result {
-	g := graph.FromSnapshot(o.lastSnapshot())
+	g := o.LastGraph()
 	outs := g.OutDegrees()
 	ins := g.InDegrees()
 	res := Fig7Result{
@@ -263,8 +263,8 @@ type Fig8Result struct {
 // Fig8Resilience runs the node-removal experiment: 10 random repetitions
 // with a 95% CI, plus degree-targeted removal.
 func (o *Observatory) Fig8Resilience() Fig8Result {
-	g := graph.FromSnapshot(o.lastSnapshot())
-	adj := g.Undirected()
+	g := o.LastGraph()
+	adj := o.UndirectedAdj()
 	fractions := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	res := Fig8Result{Fractions: fractions}
 
@@ -355,12 +355,11 @@ func (o *Observatory) Fig10PeerPareto() (dht, bitswap ParetoResult) {
 		}
 		return "non-gateway"
 	}
-	return o.peerPareto(o.HydraLog, group),
-		o.peerPareto(o.World.Monitor.Log(), group)
+	return o.peerPareto(o.HydraActivityByPeer(), group),
+		o.peerPareto(o.MonitorActivityByPeer(), group)
 }
 
-func (o *Observatory) peerPareto(log *trace.Log, group func(ids.PeerID) string) ParetoResult {
-	act := log.ActivityByPeer()
+func (o *Observatory) peerPareto(act map[ids.PeerID]int64, group func(ids.PeerID) string) ParetoResult {
 	return ParetoResult{
 		Top5Share:    trace.TopShare(act, 0.05),
 		GroupTraffic: trace.GroupTrafficShare(act, group),
@@ -374,8 +373,7 @@ func (o *Observatory) peerPareto(log *trace.Log, group func(ids.PeerID) string) 
 func (o *Observatory) Fig11IPPareto() (dht, bitswap ParetoResult) {
 	cloudAttr := o.World.CloudAttr()
 	group := func(ip netip.Addr) string { return cloudAttr(ip) }
-	ipPareto := func(log *trace.Log) ParetoResult {
-		act := log.ActivityByIP()
+	ipPareto := func(act map[netip.Addr]int64) ParetoResult {
 		return ParetoResult{
 			Top5Share:    trace.TopShare(act, 0.05),
 			GroupTraffic: trace.GroupTrafficShare(act, group),
@@ -383,7 +381,7 @@ func (o *Observatory) Fig11IPPareto() (dht, bitswap ParetoResult) {
 			Curves:       trace.SplitPareto(act, group),
 		}
 	}
-	return ipPareto(o.HydraLog), ipPareto(o.World.Monitor.Log())
+	return ipPareto(o.HydraActivityByIP()), ipPareto(o.MonitorActivityByIP())
 }
 
 // --- Fig. 12: cloud per traffic type ---
@@ -448,15 +446,14 @@ func (o *Observatory) Fig13Platforms() Fig13Result {
 
 // Fig14ProviderClass classifies providers and relay usage.
 func (o *Observatory) Fig14ProviderClass() (map[analysis.Class]float64, float64) {
-	isCloud := o.isCloud()
-	profiles := analysis.Profiles(&o.Records, isCloud)
-	return analysis.ClassShares(profiles), analysis.RelayCloudShare(profiles, isCloud)
+	profiles := o.ProviderProfiles()
+	return analysis.ClassShares(profiles), analysis.RelayCloudShare(profiles, o.isCloud())
 }
 
 // Fig15ProviderPopularity returns the popularity Pareto plus per-class
 // appearance shares.
 func (o *Observatory) Fig15ProviderPopularity() ([]stats.ParetoPoint, map[analysis.Class]float64) {
-	profiles := analysis.Profiles(&o.Records, o.isCloud())
+	profiles := o.ProviderProfiles()
 	return analysis.PopularityPareto(profiles), analysis.ClassAppearanceShares(profiles)
 }
 

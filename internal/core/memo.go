@@ -1,0 +1,113 @@
+package core
+
+import (
+	"net/netip"
+	"sync"
+
+	"tcsb/internal/analysis"
+	"tcsb/internal/counting"
+	"tcsb/internal/graph"
+	"tcsb/internal/ids"
+)
+
+// memo caches derived datasets that several experiments share. Each field
+// is computed at most once per observatory, so concurrently running
+// experiments (internal/experiments' parallel runner) never duplicate the
+// heavy derivations and never race on lazily built state: everything an
+// experiment reads is either immutable campaign output or produced behind
+// one of these sync.Onces.
+type memo struct {
+	datasetOnce sync.Once
+	dataset     *counting.Dataset
+
+	lastGraphOnce sync.Once
+	lastGraph     *graph.Graph
+
+	undirectedOnce sync.Once
+	undirected     [][]int32
+
+	profilesOnce sync.Once
+	profiles     []analysis.ProviderProfile
+
+	hydraByPeerOnce sync.Once
+	hydraByPeer     map[ids.PeerID]int64
+
+	hydraByIPOnce sync.Once
+	hydraByIP     map[netip.Addr]int64
+
+	monitorByPeerOnce sync.Once
+	monitorByPeer     map[ids.PeerID]int64
+
+	monitorByIPOnce sync.Once
+	monitorByIP     map[netip.Addr]int64
+}
+
+// Dataset returns the crawl series in counting form, built once.
+func (o *Observatory) Dataset() *counting.Dataset {
+	o.memo.datasetOnce.Do(func() {
+		o.memo.dataset = counting.FromSeries(&o.Crawls)
+	})
+	return o.memo.dataset
+}
+
+// LastGraph returns the topology graph of the final crawl, built once.
+func (o *Observatory) LastGraph() *graph.Graph {
+	o.memo.lastGraphOnce.Do(func() {
+		o.memo.lastGraph = graph.FromSnapshot(o.lastSnapshot())
+	})
+	return o.memo.lastGraph
+}
+
+// UndirectedAdj returns the symmetrized adjacency of the final crawl
+// graph, built once (shared by the Fig. 8 removal experiments).
+func (o *Observatory) UndirectedAdj() [][]int32 {
+	o.memo.undirectedOnce.Do(func() {
+		o.memo.undirected = o.LastGraph().Undirected()
+	})
+	return o.memo.undirected
+}
+
+// ProviderProfiles returns the per-provider profiles of the record
+// collection, built once (shared by Figs. 14 and 15).
+func (o *Observatory) ProviderProfiles() []analysis.ProviderProfile {
+	o.memo.profilesOnce.Do(func() {
+		o.memo.profiles = analysis.Profiles(&o.Records, o.isCloud())
+	})
+	return o.memo.profiles
+}
+
+// HydraActivityByPeer returns the per-peer message counts of the Hydra
+// log, aggregated once.
+func (o *Observatory) HydraActivityByPeer() map[ids.PeerID]int64 {
+	o.memo.hydraByPeerOnce.Do(func() {
+		o.memo.hydraByPeer = o.HydraLog.ActivityByPeer()
+	})
+	return o.memo.hydraByPeer
+}
+
+// HydraActivityByIP returns the per-IP message counts of the Hydra log,
+// aggregated once.
+func (o *Observatory) HydraActivityByIP() map[netip.Addr]int64 {
+	o.memo.hydraByIPOnce.Do(func() {
+		o.memo.hydraByIP = o.HydraLog.ActivityByIP()
+	})
+	return o.memo.hydraByIP
+}
+
+// MonitorActivityByPeer returns the per-peer message counts of the
+// Bitswap monitor log, aggregated once.
+func (o *Observatory) MonitorActivityByPeer() map[ids.PeerID]int64 {
+	o.memo.monitorByPeerOnce.Do(func() {
+		o.memo.monitorByPeer = o.World.Monitor.Log().ActivityByPeer()
+	})
+	return o.memo.monitorByPeer
+}
+
+// MonitorActivityByIP returns the per-IP message counts of the Bitswap
+// monitor log, aggregated once.
+func (o *Observatory) MonitorActivityByIP() map[netip.Addr]int64 {
+	o.memo.monitorByIPOnce.Do(func() {
+		o.memo.monitorByIP = o.World.Monitor.Log().ActivityByIP()
+	})
+	return o.memo.monitorByIP
+}

@@ -74,6 +74,10 @@ type Observatory struct {
 	// own measurement traffic (crawler, record collector) filtered out,
 	// as the authors exclude their own tools from the analysis.
 	HydraLog *trace.Log
+
+	// memo caches derived datasets shared by several experiments; see
+	// memo.go. Safe for concurrent use once observation has finished.
+	memo memo
 }
 
 // Observe builds a world and runs the full observation campaign on it.

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tcsb/internal/core"
+	"tcsb/internal/scenario"
+)
+
+// paperUnits is the full set of evaluation units in the paper: every one
+// must have a registered experiment. A figure added to the paper coverage
+// without a Register() call fails here.
+var paperUnits = []string{
+	"table1", "section3",
+	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"churn", "section5",
+	"fig9", "fig10", "fig11", "fig12", "fig13",
+	"fig14", "fig15", "fig16",
+	"fig17", "fig18", "fig19", "fig20",
+}
+
+func TestRegistryCompleteness(t *testing.T) {
+	names := Names()
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range paperUnits {
+		if !have[want] {
+			t.Errorf("paper unit %q has no registered experiment", want)
+		}
+	}
+	if len(names) != len(paperUnits) {
+		t.Errorf("registry has %d experiments, paper coverage lists %d — update paperUnits or the catalog",
+			len(names), len(paperUnits))
+	}
+	for _, e := range All() {
+		if e.Section == "" || e.Description == "" {
+			t.Errorf("experiment %q missing section or description", e.Name)
+		}
+		if e.Name != strings.ToLower(e.Name) {
+			t.Errorf("experiment name %q must be lower-case (it is a CLI key)", e.Name)
+		}
+	}
+}
+
+func TestLookupAndSelect(t *testing.T) {
+	if _, ok := Lookup("fig3"); !ok {
+		t.Fatal("fig3 not found")
+	}
+	if _, ok := Lookup("fig999"); ok {
+		t.Fatal("fig999 should not exist")
+	}
+	all, err := Select(nil)
+	if err != nil || len(all) != len(paperUnits) {
+		t.Fatalf("empty selection: %d experiments, err=%v", len(all), err)
+	}
+	// Selection order follows registration order, not request order.
+	sel, err := Select([]string{"fig5", "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "table1" || sel[1].Name != "fig5" {
+		t.Fatalf("selection = %v, want [table1 fig5]", sel)
+	}
+	if _, err := Select([]string{"fig3", "nope", "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown names should be reported together, got %v", err)
+	}
+}
+
+func TestRegisterRejectsBadEntries(t *testing.T) {
+	expectPanic := func(name string, e Experiment) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(e)
+	}
+	expectPanic("empty", Experiment{})
+	expectPanic("duplicate", Experiment{Name: "fig3", Run: runFig3})
+}
+
+// smallObservatory builds a fast campaign for engine tests — same shape
+// as core's determinism fixture.
+func smallObservatory(seed int64) *core.Observatory {
+	cfg := scenario.DefaultConfig().Scaled(0.08)
+	cfg.Seed = seed
+	rc := core.RunConfig{Days: 1, CrawlsPerDay: 1, DailyCIDSample: 40,
+		GatewayProbeRounds: 4, DNSLinkDomains: 50, ENSNames: 40}
+	return core.Observe(cfg, rc)
+}
+
+// TestParallelDeterminism is the engine's headline guarantee: for the
+// same seed, rendered output (text and JSONL) is byte-identical whether
+// the catalog runs serially or with 8 workers — across two independently
+// built observatories, so memoization cannot leak execution order into
+// results.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two observation campaigns")
+	}
+	render := func(o *core.Observatory, parallel int) (string, string) {
+		results, err := Run(o, nil, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text, jsonl strings.Builder
+		if err := RenderText(&text, results); err != nil {
+			t.Fatal(err)
+		}
+		if err := RenderJSONL(&jsonl, results); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), jsonl.String()
+	}
+	serialText, serialJSON := render(smallObservatory(5), 1)
+	parallelText, parallelJSON := render(smallObservatory(5), 8)
+	if serialText != parallelText {
+		t.Error("text output differs between -parallel 1 and -parallel 8")
+	}
+	if serialJSON != parallelJSON {
+		t.Error("JSONL output differs between -parallel 1 and -parallel 8")
+	}
+	if !strings.Contains(serialJSON, `"experiment":"fig20"`) {
+		t.Error("JSONL stream is missing experiments")
+	}
+	// Sanity: every experiment produced at least one table.
+	results, err := Run(smallObservatory(5), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if len(r.Tables) == 0 {
+			t.Errorf("experiment %q produced no tables", r.Experiment.Name)
+		}
+	}
+}
+
+func TestRunSubsetOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds an observation campaign")
+	}
+	o := smallObservatory(7)
+	results, err := Run(o, []string{"section5", "fig3", "table1"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(results))
+	for i, r := range results {
+		got[i] = r.Experiment.Name
+	}
+	want := []string{"table1", "fig3", "section5"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result order = %v, want %v", got, want)
+		}
+	}
+	if _, err := Run(o, []string{"figX"}, 1); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestListTable(t *testing.T) {
+	tbl := ListTable()
+	if len(tbl.Rows) != len(paperUnits) {
+		t.Fatalf("list has %d rows, want %d", len(tbl.Rows), len(paperUnits))
+	}
+	if tbl.Rows[0][0] != "table1" {
+		t.Fatalf("first listed experiment = %q, want table1", tbl.Rows[0][0])
+	}
+}

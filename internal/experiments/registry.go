@@ -1,0 +1,110 @@
+// Package experiments is the registry-driven experiment engine: every
+// table and figure of the paper's evaluation is an Experiment value
+// registered into a global catalog, and a bounded-worker runner executes
+// any subset of them concurrently over one shared observatory.
+//
+// The registry is the single source of truth for cmd/tcsb-experiments
+// (-list / -only / -parallel / -json), for the registry-driven benchmarks
+// in bench_test.go, and for the paper-vs-measured record in
+// EXPERIMENTS.md: adding a scenario is one Register call, after which it
+// is reachable from the CLI, the benches, and the docs with no further
+// wiring.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"tcsb/internal/core"
+	"tcsb/internal/report"
+)
+
+// Experiment is one reproducible unit of the evaluation: a named
+// derivation from the shared observatory to rendered tables.
+type Experiment struct {
+	// Name is the CLI key, e.g. "fig3" or "table1". Lower-case,
+	// unique across the registry.
+	Name string
+	// Section anchors the experiment in the paper, e.g. "§4.1, Fig. 3".
+	Section string
+	// Description is the one-line summary shown by -list.
+	Description string
+	// Run derives the experiment from a finished observation campaign.
+	// It must be a pure function of the observatory: the parallel runner
+	// executes Run functions concurrently, and byte-identical output
+	// across -parallel settings is a tested guarantee.
+	Run func(*core.Observatory) []*report.Table
+}
+
+// The catalog preserves registration order (= paper order), which is the
+// order results are reported in regardless of execution interleaving.
+var (
+	catalog []Experiment
+	byName  = make(map[string]int)
+)
+
+// Register adds an experiment to the global catalog. It panics on an
+// invalid or duplicate registration: the catalog is assembled in package
+// init and a bad entry is a programming error.
+func Register(e Experiment) {
+	if e.Name == "" || e.Run == nil {
+		panic("experiments: Register with empty name or nil Run")
+	}
+	if _, dup := byName[e.Name]; dup {
+		panic(fmt.Sprintf("experiments: duplicate registration of %q", e.Name))
+	}
+	byName[e.Name] = len(catalog)
+	catalog = append(catalog, e)
+}
+
+// All returns the registered experiments in registration order.
+func All() []Experiment {
+	return append([]Experiment(nil), catalog...)
+}
+
+// Names returns the registered experiment names in registration order.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, e := range catalog {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Lookup returns the experiment registered under name.
+func Lookup(name string) (Experiment, bool) {
+	i, ok := byName[name]
+	if !ok {
+		return Experiment{}, false
+	}
+	return catalog[i], true
+}
+
+// Select resolves a set of names to experiments in registration order
+// (not in request order, so output order never depends on flag spelling).
+// An empty selection means all. Unknown names are reported together.
+func Select(names []string) ([]Experiment, error) {
+	if len(names) == 0 {
+		return All(), nil
+	}
+	want := make(map[string]bool, len(names))
+	var unknown []string
+	for _, n := range names {
+		if _, ok := byName[n]; !ok {
+			unknown = append(unknown, n)
+			continue
+		}
+		want[n] = true
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown experiments %v; -list shows the catalog", unknown)
+	}
+	var out []Experiment
+	for _, e := range catalog {
+		if want[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

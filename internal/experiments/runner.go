@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"tcsb/internal/core"
+	"tcsb/internal/report"
+)
+
+// Result is one executed experiment with its rendered tables.
+type Result struct {
+	Experiment Experiment
+	Tables     []*report.Table
+	// Elapsed is wall-clock execution time. It is reported on stderr by
+	// the CLI but never rendered into stdout, which must stay
+	// byte-identical across -parallel settings.
+	Elapsed time.Duration
+}
+
+// Run executes the named experiments (empty = all) over the shared
+// observatory with at most parallel concurrent workers, returning results
+// in registration order regardless of completion order. parallel < 1 is
+// treated as 1. Experiments are pure functions of the observatory, whose
+// shared derived data is memoized behind sync.Once in internal/core, so
+// any parallel setting yields identical results.
+func Run(o *core.Observatory, names []string, parallel int) ([]Result, error) {
+	exps, err := Select(names)
+	if err != nil {
+		return nil, err
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+
+	results := make([]Result, len(exps))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				results[i] = Result{
+					Experiment: exps[i],
+					Tables:     exps[i].Run(o),
+					Elapsed:    time.Since(start),
+				}
+			}
+		}()
+	}
+	for i := range exps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, nil
+}
+
+// RenderText writes the results as aligned text tables, one blank line
+// between tables — the classic tcsb-experiments output.
+func RenderText(w io.Writer, results []Result) error {
+	for _, r := range results {
+		for _, t := range r.Tables {
+			if _, err := fmt.Fprintln(w, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderJSONL writes the results as JSON Lines: one object per table,
+// tagged with the experiment it belongs to. This is the machine-readable
+// stream EXPERIMENTS.md is regenerated from.
+func RenderJSONL(w io.Writer, results []Result) error {
+	for _, r := range results {
+		for _, t := range r.Tables {
+			line, err := json.Marshal(struct {
+				Experiment string          `json:"experiment"`
+				Section    string          `json:"section"`
+				Table      json.RawMessage `json:"table"`
+			}{r.Experiment.Name, r.Experiment.Section, json.RawMessage(t.JSON())})
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ListTable renders the catalog as a table (the -list output).
+func ListTable() *report.Table {
+	t := &report.Table{
+		Title:   "Registered experiments",
+		Columns: []string{"name", "paper", "description"},
+	}
+	for _, e := range All() {
+		t.AddRow(e.Name, e.Section, e.Description)
+	}
+	return t
+}

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -98,6 +99,27 @@ func (t *Table) CSV() string {
 		sb.WriteByte('\n')
 	}
 	return sb.String()
+}
+
+// JSON renders the table as a single-line JSON object — the unit of the
+// JSONL stream emitted by `tcsb-experiments -json` and consumed when
+// regenerating EXPERIMENTS.md. Field order is fixed by the struct, so
+// equal tables render to byte-identical lines.
+func (t *Table) JSON() string {
+	obj := struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	if obj.Rows == nil {
+		obj.Rows = [][]string{}
+	}
+	b, err := json.Marshal(obj)
+	if err != nil {
+		// Tables hold only strings; marshalling cannot fail.
+		panic(err)
+	}
+	return string(b)
 }
 
 // Pct formats a fraction as a percentage with one decimal.
