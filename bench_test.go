@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
-	"sync"
 	"testing"
 
 	"tcsb/internal/analysis"
@@ -33,30 +32,42 @@ import (
 	"tcsb/internal/node"
 	"tcsb/internal/scenario"
 	"tcsb/internal/simtest"
+	"tcsb/internal/simtest/campaign"
 )
 
-var (
-	benchOnce sync.Once
-	benchObs  *core.Observatory
-)
-
-// benchObservatory builds the shared campaign fixture once.
+// benchObservatory returns the shared campaign fixture (built once per
+// process by simtest, shared with the core shape tests).
 func benchObservatory(b *testing.B) *core.Observatory {
 	b.Helper()
-	benchOnce.Do(func() {
-		cfg := scenario.DefaultConfig().Scaled(0.25)
-		cfg.Seed = 21
-		rc := core.RunConfig{
-			Days:               4,
-			CrawlsPerDay:       2,
-			DailyCIDSample:     150,
-			GatewayProbeRounds: 12,
-			DNSLinkDomains:     250,
-			ENSNames:           200,
-		}
-		benchObs = core.Observe(cfg, rc)
-	})
-	return benchObs
+	return campaign.MediumObservatory(21, 2)
+}
+
+// BenchmarkCampaign measures the full observation campaign — world
+// construction, sharded tick stepping, crawls, provider-record
+// collection and the analysis stages — at increasing campaign worker
+// counts. This is the headline number BENCH_campaign.json records; the
+// output is byte-identical across worker counts, so the sub-benchmarks
+// differ only in wall-clock. Skipped under -short (CI runs benches with
+// -benchtime=1x -short; the campaign fixture there would dominate).
+func BenchmarkCampaign(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full campaign benchmark")
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.DefaultConfig()
+				cfg.Seed = 1
+				rc := core.DefaultRunConfig()
+				rc.Workers = workers
+				o := core.Observe(cfg, rc)
+				if o.HydraLog.Len() == 0 {
+					b.Fatal("empty campaign")
+				}
+			}
+		})
+	}
 }
 
 // --- Tables and figures (registry-driven) ---

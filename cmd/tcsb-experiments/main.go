@@ -7,11 +7,14 @@
 //
 //	tcsb-experiments -list
 //	tcsb-experiments [-seed N] [-scale F] [-days N] [-only fig3,fig13]
-//	                 [-parallel N] [-json]
+//	                 [-workers N] [-parallel N] [-json]
 //
-// Output on stdout is a deterministic function of the flags and seed:
-// for the same selection it is byte-identical for every -parallel value
-// (timings and progress go to stderr).
+// -workers drives the observation campaign (world ticks, crawls,
+// provider-record collection) on a bounded goroutine pool; -parallel
+// bounds concurrently executing experiments over the finished
+// observatory. Output on stdout is a deterministic function of the
+// flags and seed: for the same selection it is byte-identical for every
+// -workers and -parallel value (timings and progress go to stderr).
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "population scale factor (1.0 ≈ 1/12 of the real network)")
 	days := flag.Int("days", 10, "observation days")
 	only := flag.String("only", "", "comma-separated experiment filter (e.g. table1,fig3,fig13)")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutine pool size for the observation campaign (output is identical for every value)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max experiments executed concurrently")
 	jsonOut := flag.Bool("json", false, "emit JSONL (one JSON object per table) instead of text tables")
 	list := flag.Bool("list", false, "list registered experiments and exit")
@@ -58,9 +62,10 @@ func main() {
 	cfg.Seed = *seed
 	rc := core.DefaultRunConfig()
 	rc.Days = *days
+	rc.Workers = *workers
 
-	fmt.Fprintf(os.Stderr, "building world (%d servers, %d NAT clients) and observing %d days...\n",
-		cfg.Servers, cfg.NATClients, rc.Days)
+	fmt.Fprintf(os.Stderr, "building world (%d servers, %d NAT clients) and observing %d days (workers=%d)...\n",
+		cfg.Servers, cfg.NATClients, rc.Days, rc.Workers)
 	start := time.Now()
 	o := core.Observe(cfg, rc)
 	fmt.Fprintf(os.Stderr, "observation complete in %v (%d total RPCs)\n",

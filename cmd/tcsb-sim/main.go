@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	tcsb-sim [-seed N] [-scale F] [-days N]
+//	tcsb-sim [-seed N] [-scale F] [-days N] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"tcsb/internal/netsim"
@@ -24,6 +25,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 0.5, "population scale factor")
 	days := flag.Int("days", 3, "days to simulate")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutine pool size for tick phases (output is identical for every value)")
 	flag.Parse()
 
 	cfg := scenario.DefaultConfig().Scaled(*scale)
@@ -31,6 +33,9 @@ func main() {
 
 	start := time.Now()
 	w := scenario.NewWorld(cfg)
+	if *workers > 0 {
+		w.Workers = *workers
+	}
 	build := time.Since(start)
 
 	start = time.Now()

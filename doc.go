@@ -12,7 +12,12 @@
 // scanner, ENS extractor), and a registry-driven experiment engine
 // (internal/experiments) whose parallel runner regenerates every table
 // and figure of the paper's evaluation from one shared observation
-// campaign.
+// campaign. The campaign itself is concurrent and deterministic: world
+// ticks execute in fixed actor shards with splitmix-derived per-shard
+// RNG streams, RPC side effects buffer into per-lane queues merged in
+// shard order (internal/netsim Effects/Fanout), and crawls, provider-
+// record collection and the analysis stages fan out over a bounded
+// worker pool — byte-identical output for every -workers value.
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured

@@ -1,42 +1,44 @@
-package core
+package core_test
 
 import (
 	"math"
-	"sync"
 	"testing"
 
 	"tcsb/internal/analysis"
+	"tcsb/internal/core"
+	"tcsb/internal/counting"
 	"tcsb/internal/scenario"
+	"tcsb/internal/simtest/campaign"
 	"tcsb/internal/trace"
 )
 
 // The observatory fixture is expensive (a full multi-day campaign), so
-// all shape tests share one instance.
-var (
-	fixtureOnce sync.Once
-	fixture     *Observatory
-)
-
-func obs(t *testing.T) *Observatory {
+// all shape tests share the simtest process-wide instance — built with
+// a multi-worker pool so these tests also exercise the concurrent
+// campaign engine (notably under -race).
+func obs(t *testing.T) *core.Observatory {
 	t.Helper()
-	fixtureOnce.Do(func() {
-		cfg := scenario.DefaultConfig().Scaled(0.25)
-		cfg.Seed = 11
-		rc := RunConfig{
-			Days:               4,
-			CrawlsPerDay:       2,
-			DailyCIDSample:     150,
-			GatewayProbeRounds: 12,
-			DNSLinkDomains:     250,
-			ENSNames:           200,
+	return campaign.MediumObservatory(11, 4)
+}
+
+// cloudShare mirrors the unexported helper the experiments use: the
+// share of entities classified cloud (including the BOTH bucket).
+func cloudShare(m map[string]float64) float64 {
+	var cloud, total float64
+	for k, v := range m {
+		total += v
+		if k == "cloud" || k == counting.BothLabel {
+			cloud += v
 		}
-		fixture = Observe(cfg, rc)
-	})
-	return fixture
+	}
+	if total == 0 {
+		return 0
+	}
+	return cloud / total
 }
 
 func TestTable1MatchesPaperExactly(t *testing.T) {
-	r := Table1()
+	r := core.Table1()
 	if r.GIP["DE"] != 2 || r.GIP["US"] != 2 {
 		t.Fatalf("G-IP = %v, want DE=2 US=2", r.GIP)
 	}
@@ -113,7 +115,7 @@ func TestFig5ProviderShape(t *testing.T) {
 		t.Errorf("choopa G-IP share (%v) should be below A-N (%v)",
 			r.GIP["choopa"], r.AN["choopa"])
 	}
-	top3 := TopNShare(r.AN, 3, "non-cloud", "BOTH")
+	top3 := core.TopNShare(r.AN, 3, "non-cloud", "BOTH")
 	if top3 < 0.35 || top3 > 0.70 {
 		t.Errorf("top-3 provider share = %v, want ~0.52", top3)
 	}
@@ -192,13 +194,13 @@ func TestFig9FrequencyShape(t *testing.T) {
 	o := obs(t)
 	r := o.Fig9Frequency()
 	// Most identifiers are short-lived (1-3 days).
-	if s := ShortLivedShare(r.CIDDays, 3); s < 0.5 {
+	if s := core.ShortLivedShare(r.CIDDays, 3); s < 0.5 {
 		t.Errorf("short-lived CID share = %v", s)
 	}
-	if s := ShortLivedShare(r.IPDays, 3); s < 0.5 {
+	if s := core.ShortLivedShare(r.IPDays, 3); s < 0.5 {
 		t.Errorf("short-lived IP share = %v", s)
 	}
-	if s := ShortLivedShare(r.PeerDays, 3); s < 0.5 {
+	if s := core.ShortLivedShare(r.PeerDays, 3); s < 0.5 {
 		t.Errorf("short-lived peer share = %v", s)
 	}
 }
@@ -416,10 +418,10 @@ func TestGatewayCensusFindsRealNodes(t *testing.T) {
 func TestObservatoryDeterminism(t *testing.T) {
 	cfg := scenario.DefaultConfig().Scaled(0.08)
 	cfg.Seed = 5
-	rc := RunConfig{Days: 1, CrawlsPerDay: 1, DailyCIDSample: 40,
+	rc := core.RunConfig{Days: 1, CrawlsPerDay: 1, DailyCIDSample: 40,
 		GatewayProbeRounds: 4, DNSLinkDomains: 50, ENSNames: 40}
-	a := Observe(cfg, rc)
-	b := Observe(cfg, rc)
+	a := core.Observe(cfg, rc)
+	b := core.Observe(cfg, rc)
 	if a.HydraLog.Len() != b.HydraLog.Len() {
 		t.Fatalf("hydra logs differ: %d vs %d", a.HydraLog.Len(), b.HydraLog.Len())
 	}

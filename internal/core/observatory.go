@@ -37,6 +37,12 @@ type RunConfig struct {
 	// DNSLinkDomains / ENSNames size the entry-point populations.
 	DNSLinkDomains int
 	ENSNames       int
+	// Workers bounds the goroutine pool driving the campaign: world
+	// tick phases, crawl dial fan-out, per-CID provider-record
+	// collection and the post-simulation analysis stages. Every dataset
+	// the observatory produces is byte-identical for every Workers
+	// value (0 or 1 = fully serial).
+	Workers int
 }
 
 // DefaultRunConfig returns the laptop-scale campaign.
@@ -48,6 +54,7 @@ func DefaultRunConfig() RunConfig {
 		GatewayProbeRounds: 16,
 		DNSLinkDomains:     400,
 		ENSNames:           300,
+		Workers:            1,
 	}
 }
 
@@ -87,9 +94,21 @@ func Observe(cfg scenario.Config, rc RunConfig) *Observatory {
 }
 
 // ObserveWorld runs the campaign on an existing world.
+//
+// The campaign parallelizes on rc.Workers without changing a single
+// byte of any dataset: world ticks run their sharded phases on the
+// pool, each crawl fans its dial sweeps out, the day's provider-record
+// walks collect concurrently per CID, and after the simulated days the
+// DNSLink scan runs alongside the ENS provider resolution (the two
+// stages share no mutable state). Gateway probes stay serial by nature:
+// each probe plants content on the monitor and immediately reads its
+// own Bitswap trace back, an inherently sequential protocol.
 func ObserveWorld(w *scenario.World, rc RunConfig) *Observatory {
 	o := &Observatory{World: w, Run: rc}
 	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0x0b5e7))
+	if rc.Workers > 0 {
+		w.Workers = rc.Workers
+	}
 
 	w.PopulateDNSLink(rc.DNSLinkDomains)
 	resolvers := w.PopulateENS(rc.ENSNames)
@@ -110,31 +129,52 @@ func ObserveWorld(w *scenario.World, rc RunConfig) *Observatory {
 			}
 		}
 		// Daily sampled Bitswap CIDs → provider record collection, same
-		// day, as in the paper.
+		// day, as in the paper. Walks are independent; fan out per CID.
 		sample := monitor.DailySample(w.Monitor.Log(), int64(day), rc.DailyCIDSample, rng)
-		collector.CollectDay(&o.Records, sample, int64(day))
+		collector.CollectDayParallel(&o.Records, sample, int64(day), w.Workers)
 	}
 
-	// Gateway identification probes via the monitor.
+	// Gateway identification probes via the monitor (serial: each probe
+	// reads its own planted content's trace back from the shared log).
 	prober := gwprobe.New(w.Monitor, uint64(w.Cfg.Seed)<<32+0x9a7e)
 	o.Census = prober.Census(w.PublicGateways(), rc.GatewayProbeRounds)
 	o.GatewaySet = gwprobe.GatewayPeerSet(o.Census)
 
-	// DNSLink active scan over the simulated universe.
-	scanner := dnslink.NewScanner(w.DNS, w.GatewayDomains())
-	o.DNSLinkResults = scanner.Scan()
-
-	// ENS extraction + provider resolution for referenced CIDs.
-	o.ENSRecords = ens.Extract(resolvers)
-	seen := map[ids.CID]bool{}
-	for _, r := range o.ENSRecords {
-		if seen[r.CID] {
-			continue
+	// Post-simulation stages over the finished world: the DNSLink active
+	// scan touches only the DNS universe, the ENS pipeline touches only
+	// the overlay — run them concurrently when the pool allows. With a
+	// single worker both stages run on this goroutine (the documented
+	// fully-serial mode); results are identical either way.
+	ensStage := func() {
+		o.ENSRecords = ens.Extract(resolvers)
+		seen := map[ids.CID]bool{}
+		var cids []ids.CID
+		for _, r := range o.ENSRecords {
+			if seen[r.CID] {
+				continue
+			}
+			seen[r.CID] = true
+			cids = append(cids, r.CID)
 		}
-		seen[r.CID] = true
-		o.ENSProviders.PerCID = append(o.ENSProviders.PerCID,
-			collector.CollectOne(r.CID, int64(rc.Days)))
+		collector.CollectDayParallel(&o.ENSProviders, cids, int64(rc.Days), max(w.Workers-1, 1))
 	}
+	dnsStage := func() {
+		scanner := dnslink.NewScanner(w.DNS, w.GatewayDomains())
+		o.DNSLinkResults = scanner.Scan()
+	}
+	if w.Workers > 1 {
+		ensDone := make(chan struct{})
+		go func() {
+			defer close(ensDone)
+			ensStage()
+		}()
+		dnsStage()
+		<-ensDone
+	} else {
+		ensStage()
+		dnsStage()
+	}
+
 	crawlerID := w.CrawlerID()
 	collectorID := w.CollectorID()
 	o.HydraLog = w.Hydra.Log().Filter(func(e trace.Event) bool {

@@ -41,6 +41,12 @@ type Config struct {
 	ConnTimeoutSec float64
 	// RPCTimeSec is the modelled cost of one successful RPC (default 0.05).
 	RPCTimeSec float64
+	// Parallel is the number of OS-level worker goroutines actually used
+	// to sweep peers (default 1). Unlike Workers — a parameter of the
+	// modelled duration estimate — Parallel changes only wall-clock: the
+	// crawl proceeds in waves whose results merge in discovery order, so
+	// the snapshot is byte-identical for every Parallel value.
+	Parallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RPCTimeSec <= 0 {
 		c.RPCTimeSec = 0.05
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
 	}
 	return c
 }
@@ -129,7 +138,22 @@ func (s *Snapshot) Crawlable() int {
 // Get returns the observation for a peer, or nil.
 func (s *Snapshot) Get(p ids.PeerID) *Observation { return s.Peers[p] }
 
+// sweepResult is what one parallel sweep learned about one peer before
+// the deterministic merge.
+type sweepResult struct {
+	contacts []ids.PeerID
+	learned  []netsim.PeerInfo
+	rpcs     int
+	err      error
+}
+
 // Crawl performs one full crawl of the network reachable from seeds.
+//
+// The crawl proceeds breadth-first in waves: every peer in the current
+// frontier is swept (concurrently when cfg.Parallel > 1, each sweep on
+// its own netsim Effects lane), then the wave's results are merged in
+// frontier order. Discovery order — and with it the entire snapshot —
+// is therefore a function of the graph alone, not of worker scheduling.
 func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 	cfg = cfg.withDefaults()
 	snap := &Snapshot{
@@ -158,21 +182,35 @@ func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 
 	unresponsive := 0
 	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
-		o := snap.Peers[p]
-
-		contacts, rpcs, err := sweep(net, cfg, p, enqueue)
-		o.SweepRPCs = rpcs
-		snap.RPCs += rpcs
-		if err != nil {
-			o.Crawlable = false
-			o.DialError = err.Error()
-			unresponsive++
-			continue
+		frontier := queue
+		queue = nil
+		results := make([]sweepResult, len(frontier))
+		tasks := make([]func(env *netsim.Effects), len(frontier))
+		for i := range frontier {
+			i := i
+			tasks[i] = func(env *netsim.Effects) {
+				results[i] = sweep(net, env, cfg, frontier[i])
+			}
 		}
-		o.Crawlable = true
-		o.Contacts = contacts
+		net.Fanout(cfg.Parallel, tasks)
+
+		for i, p := range frontier {
+			r := results[i]
+			o := snap.Peers[p]
+			o.SweepRPCs = r.rpcs
+			snap.RPCs += r.rpcs
+			if r.err != nil {
+				o.Crawlable = false
+				o.DialError = r.err.Error()
+				unresponsive++
+				continue
+			}
+			o.Crawlable = true
+			o.Contacts = r.contacts
+			for _, pi := range r.learned {
+				enqueue(pi)
+			}
+		}
 	}
 
 	// Duration model: successful RPCs stream through the worker pool;
@@ -185,29 +223,30 @@ func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 
 // sweep enumerates one peer's buckets via FindNode messages crafted to
 // target every common-prefix length, stopping after cfg.EmptySweeps
-// consecutive sweeps that reveal nothing new.
-func sweep(net *netsim.Network, cfg Config, p ids.PeerID, learn func(netsim.PeerInfo)) ([]ids.PeerID, int, error) {
+// consecutive sweeps that reveal nothing new. It only reads shared state
+// (plus lane-deferred handler effects), collecting learned PeerInfos for
+// the caller to merge.
+func sweep(net *netsim.Network, env *netsim.Effects, cfg Config, p ids.PeerID) sweepResult {
 	seen := make(map[ids.PeerID]bool)
-	var contacts []ids.PeerID
-	rpcs := 0
+	var res sweepResult
 	emptyRun := 0
 	for cpl := 0; cpl < cfg.MaxCPL && emptyRun < cfg.EmptySweeps; cpl++ {
 		// A target differing from p's key in exactly bit `cpl` lands in
 		// bucket cpl of p's table.
 		target := p.Key().FlipBit(cpl)
-		rpcs++
-		peers, err := net.FindNode(cfg.CrawlerID, p, target)
+		res.rpcs++
+		peers, err := net.FindNodeVia(env, cfg.CrawlerID, p, target)
 		if err != nil {
-			return nil, rpcs, fmt.Errorf("dial %s: %w", p.Short(), err)
+			return sweepResult{rpcs: res.rpcs, err: fmt.Errorf("dial %s: %w", p.Short(), err)}
 		}
 		newPeers := 0
 		for _, pi := range peers {
-			learn(pi)
+			res.learned = append(res.learned, pi)
 			if pi.ID == p || seen[pi.ID] {
 				continue
 			}
 			seen[pi.ID] = true
-			contacts = append(contacts, pi.ID)
+			res.contacts = append(res.contacts, pi.ID)
 			newPeers++
 		}
 		if newPeers == 0 {
@@ -216,7 +255,7 @@ func sweep(net *netsim.Network, cfg Config, p ids.PeerID, learn func(netsim.Peer
 			emptyRun = 0
 		}
 	}
-	return contacts, rpcs, nil
+	return res
 }
 
 func mergeAddrs(dst, src []maddr.Addr) []maddr.Addr {

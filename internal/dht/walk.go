@@ -129,6 +129,12 @@ func (cs *candidateSet) closest(n int) []netsim.PeerInfo {
 // returns the K closest reachable peers found, in increasing distance
 // order.
 func (w *Walker) GetClosestPeers(seeds []netsim.PeerInfo, target ids.Key) ([]netsim.PeerInfo, WalkStats) {
+	return w.GetClosestPeersVia(nil, seeds, target)
+}
+
+// GetClosestPeersVia is GetClosestPeers with the walk's RPCs issued
+// through an Effects lane (nil = serial/immediate mode).
+func (w *Walker) GetClosestPeersVia(env *netsim.Effects, seeds []netsim.PeerInfo, target ids.Key) ([]netsim.PeerInfo, WalkStats) {
 	cs := newCandidateSet(target)
 	for _, s := range seeds {
 		cs.add(s)
@@ -142,7 +148,7 @@ func (w *Walker) GetClosestPeers(seeds []netsim.PeerInfo, target ids.Key) ([]net
 		for _, p := range batch {
 			cs.queried[p] = true
 			stats.Queried++
-			peers, err := w.net.FindNode(w.self, p, target)
+			peers, err := w.net.FindNodeVia(env, w.self, p, target)
 			if err != nil {
 				cs.failed[p] = true
 				stats.Failed++
@@ -163,11 +169,17 @@ func (w *Walker) GetClosestPeers(seeds []netsim.PeerInfo, target ids.Key) ([]net
 // the K closest peers to c's key and sends each a provider record. It
 // returns the resolvers that accepted the record.
 func (w *Walker) Provide(seeds []netsim.PeerInfo, c ids.CID, selfInfo netsim.PeerInfo) ([]ids.PeerID, WalkStats) {
-	resolvers, stats := w.GetClosestPeers(seeds, c.Key())
+	return w.ProvideVia(nil, seeds, c, selfInfo)
+}
+
+// ProvideVia is Provide with the walk and advertisements issued through
+// an Effects lane.
+func (w *Walker) ProvideVia(env *netsim.Effects, seeds []netsim.PeerInfo, c ids.CID, selfInfo netsim.PeerInfo) ([]ids.PeerID, WalkStats) {
+	resolvers, stats := w.GetClosestPeersVia(env, seeds, c.Key())
 	rec := netsim.ProviderRecord{Provider: selfInfo, Received: w.net.Clock.Now()}
 	var accepted []ids.PeerID
 	for _, r := range resolvers {
-		if err := w.net.AddProvider(w.self, r.ID, c, rec); err != nil {
+		if err := w.net.AddProviderVia(env, w.self, r.ID, c, rec); err != nil {
 			stats.Failed++
 			continue
 		}
@@ -191,6 +203,12 @@ type FindProvidersOpts struct {
 // FindProviders resolves c to provider records by walking the DHT toward
 // c's key, querying every encountered peer for provider records.
 func (w *Walker) FindProviders(seeds []netsim.PeerInfo, c ids.CID, opts FindProvidersOpts) ([]netsim.ProviderRecord, WalkStats) {
+	return w.FindProvidersVia(nil, seeds, c, opts)
+}
+
+// FindProvidersVia is FindProviders with the walk issued through an
+// Effects lane.
+func (w *Walker) FindProvidersVia(env *netsim.Effects, seeds []netsim.PeerInfo, c ids.CID, opts FindProvidersOpts) ([]netsim.ProviderRecord, WalkStats) {
 	if opts.Max <= 0 {
 		opts.Max = K
 	}
@@ -215,7 +233,7 @@ func (w *Walker) FindProviders(seeds []netsim.PeerInfo, c ids.CID, opts FindProv
 			}
 			cs.queried[p] = true
 			stats.Queried++
-			recs, closer, err := w.net.GetProviders(w.self, p, c)
+			recs, closer, err := w.net.GetProvidersVia(env, w.self, p, c)
 			if err != nil {
 				cs.failed[p] = true
 				stats.Failed++

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"tcsb/internal/core"
-	"tcsb/internal/scenario"
+	"tcsb/internal/simtest/campaign"
 )
 
 // paperUnits is the full set of evaluation units in the paper: every one
@@ -83,14 +83,56 @@ func TestRegisterRejectsBadEntries(t *testing.T) {
 	expectPanic("duplicate", Experiment{Name: "fig3", Run: runFig3})
 }
 
-// smallObservatory builds a fast campaign for engine tests — same shape
-// as core's determinism fixture.
+// smallObservatory builds a fast campaign for engine tests, using the
+// shared simtest fixture shapes but building fresh every call — the
+// determinism tests below need *independently built* observatories, so
+// they must bypass the simtest cache on purpose.
 func smallObservatory(seed int64) *core.Observatory {
-	cfg := scenario.DefaultConfig().Scaled(0.08)
-	cfg.Seed = seed
-	rc := core.RunConfig{Days: 1, CrawlsPerDay: 1, DailyCIDSample: 40,
-		GatewayProbeRounds: 4, DNSLinkDomains: 50, ENSNames: 40}
-	return core.Observe(cfg, rc)
+	return smallObservatoryWorkers(seed, 1)
+}
+
+func smallObservatoryWorkers(seed int64, workers int) *core.Observatory {
+	rc := campaign.SmallRunConfig()
+	rc.Workers = workers
+	return core.Observe(campaign.SmallConfig(seed), rc)
+}
+
+// renderAll runs the full catalog and renders both output formats.
+func renderAll(t *testing.T, o *core.Observatory, parallel int) (string, string) {
+	t.Helper()
+	results, err := Run(o, nil, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, jsonl strings.Builder
+	if err := RenderText(&text, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderJSONL(&jsonl, results); err != nil {
+		t.Fatal(err)
+	}
+	return text.String(), jsonl.String()
+}
+
+// TestCampaignWorkerDeterminism extends the engine's determinism
+// guarantee down into the observation campaign: two observatories built
+// independently — one fully serial, one on an 8-worker pool driving the
+// sharded world ticks, parallel crawl sweeps and fanned-out provider
+// collection — must render byte-identical text and JSONL for the whole
+// catalog. This is the test behind the CLI's contract that stdout is
+// identical for every -workers value.
+func TestCampaignWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two observation campaigns")
+	}
+	serialText, serialJSON := renderAll(t, smallObservatoryWorkers(5, 1), 1)
+	pooledText, pooledJSON := renderAll(t, smallObservatoryWorkers(5, 8), 4)
+	if serialText != pooledText {
+		t.Error("text output differs between campaign workers=1 and workers=8")
+	}
+	if serialJSON != pooledJSON {
+		t.Error("JSONL output differs between campaign workers=1 and workers=8")
+	}
 }
 
 // TestParallelDeterminism is the engine's headline guarantee: for the

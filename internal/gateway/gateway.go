@@ -13,6 +13,7 @@ import (
 	"net/netip"
 
 	"tcsb/internal/ids"
+	"tcsb/internal/netsim"
 	"tcsb/internal/node"
 )
 
@@ -77,6 +78,15 @@ func (g *Gateway) FetchHTTP(c ids.CID) bool {
 // performed the retrieval (nil on a cache hit). Scenario drivers use the
 // node to model the gateway re-providing downloaded content.
 func (g *Gateway) FetchHTTPNode(c ids.CID) (bool, *node.Node) {
+	return g.FetchHTTPNodeVia(nil, c)
+}
+
+// FetchHTTPNodeVia is FetchHTTPNode with the retrieval issued through an
+// Effects lane. Gateway-local state (request counters, HTTP cache,
+// round-robin cursor) is mutated in place: the scenario assigns each
+// gateway's HTTP traffic to exactly one shard lane per phase, so only
+// one goroutine ever touches it.
+func (g *Gateway) FetchHTTPNodeVia(env *netsim.Effects, c ids.CID) (bool, *node.Node) {
 	g.Requests++
 	if g.cache[c] {
 		g.CacheHits++
@@ -84,7 +94,7 @@ func (g *Gateway) FetchHTTPNode(c ids.CID) (bool, *node.Node) {
 	}
 	nd := g.nodes[g.next%len(g.nodes)]
 	g.next++
-	res := nd.Retrieve(c, false)
+	res := nd.RetrieveVia(env, c, false)
 	if res.Found {
 		g.cache[c] = true
 	}

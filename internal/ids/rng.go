@@ -1,0 +1,27 @@
+package ids
+
+// SplitMix64 advances a splitmix64 state and returns the next output.
+// It is the standard finalizer-based generator from Steele et al.
+// (SPLITMIX, OOPSLA 2014) — a bijective mixer with full 64-bit
+// avalanche, which makes it the canonical tool for deriving independent
+// sub-streams from a master seed.
+func SplitMix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed mixes a master seed with an arbitrary number of stream
+// labels (tick index, shard index, …) into an independent sub-seed.
+// Feeding each label through SplitMix64 keeps distinct label tuples
+// statistically uncorrelated, so every (tick, shard) pair gets its own
+// reproducible RNG stream regardless of how many workers execute it.
+func DeriveSeed(master uint64, labels ...uint64) uint64 {
+	s := SplitMix64(master)
+	for _, l := range labels {
+		s = SplitMix64(s ^ SplitMix64(l))
+	}
+	return s
+}

@@ -146,33 +146,147 @@ func (t *Table) Contains(p ids.PeerID) bool {
 // under the XOR metric, in increasing distance order. This is the local
 // half of the FindNode RPC: a queried DHT server answers with the K
 // closest contacts from its own buckets.
+//
+// It runs a bounded selection — a single scan keeping the best n in a
+// small sorted window — rather than sorting the whole table. Answering
+// FindNode is the simulator's hottest operation (every walk step, crawl
+// sweep and Hydra lookup lands here), and for n = K ≪ table size the
+// selection does one XOR + one tail compare per contact instead of an
+// O(size log size) reflective sort. The result is exact and identical
+// to the sort-based implementation.
 func (t *Table) NearestPeers(target ids.Key, n int) []ids.PeerID {
 	if n <= 0 {
 		return nil
 	}
-	// Visit buckets in order of increasing distance to the target:
-	// start at the bucket the target falls in, then widen. For the modest
-	// table sizes here a full scan with a sort is simpler and fast enough,
-	// and — critically for the simulator — exact.
-	type cand struct {
-		p ids.PeerID
-		d ids.Key
+	if n > t.size {
+		n = t.size
 	}
-	cands := make([]cand, 0, t.size)
-	for i := range t.buckets {
-		for _, c := range t.buckets[i] {
-			cands = append(cands, cand{p: c.Peer, d: c.Peer.Key().Xor(target)})
+	// Buckets are visited in increasing-distance-band order. With
+	// cplT = CPL(self, target), a contact in bucket b has XOR distance
+	// to the target whose leading set bit is: > cplT for b == cplT
+	// (strictly closest band), exactly cplT for every b > cplT, and
+	// exactly b for b < cplT (farther the smaller b is). Visiting
+	// bucket cplT first warms the selection with the closest possible
+	// contacts (making subsequent rejects first-byte cheap), and once
+	// the window is full every remaining bucket below the current band
+	// is provably farther and gets skipped wholesale.
+	cplT := ids.CommonPrefixLen(t.self, target)
+	sel := newSelector(target, n)
+	for _, c := range t.buckets[cplT] {
+		sel.offer(c.Peer)
+	}
+	for b := cplT + 1; b < len(t.buckets); b++ {
+		for _, c := range t.buckets[b] {
+			sel.offer(c.Peer)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].d.Cmp(cands[j].d) < 0 })
-	if n > len(cands) {
-		n = len(cands)
+	for b := cplT - 1; b >= 0; b-- {
+		if sel.full() {
+			break
+		}
+		for _, c := range t.buckets[b] {
+			sel.offer(c.Peer)
+		}
 	}
-	out := make([]ids.PeerID, n)
-	for i := 0; i < n; i++ {
-		out[i] = cands[i].p
+	return sel.finalize()
+}
+
+// selector keeps the n closest peers to a target seen so far in an
+// unsorted window, tracking the current worst entry: rejects cost one
+// fused byte-compare, replacements an O(n) worst rescan (rare once the
+// window is warm), and the window is sorted exactly once at the end.
+type selector struct {
+	target ids.Key
+	limit  int
+	worst  int
+	dists  []ids.Key
+	peers  []ids.PeerID
+}
+
+func newSelector(target ids.Key, n int) *selector {
+	return &selector{
+		target: target,
+		limit:  n,
+		dists:  make([]ids.Key, 0, n),
+		peers:  make([]ids.PeerID, 0, n),
 	}
-	return out
+}
+
+func (s *selector) full() bool { return len(s.peers) == s.limit }
+
+func (s *selector) offer(p ids.PeerID) {
+	k := p.Key()
+	if s.full() {
+		// Fast reject against the current worst, byte-fused with early
+		// exit — the overwhelmingly common case, usually decided on the
+		// first byte without materializing the distance.
+		if !xorLess(k, s.target, s.dists[s.worst]) {
+			return
+		}
+		s.dists[s.worst] = k.Xor(s.target)
+		s.peers[s.worst] = p
+		w := 0
+		for i := 1; i < len(s.dists); i++ {
+			if s.dists[i].Cmp(s.dists[w]) > 0 {
+				w = i
+			}
+		}
+		s.worst = w
+		return
+	}
+	d := k.Xor(s.target)
+	s.dists = append(s.dists, d)
+	s.peers = append(s.peers, p)
+	if d.Cmp(s.dists[s.worst]) > 0 {
+		s.worst = len(s.dists) - 1
+	}
+}
+
+// finalize sorts the window by distance (insertion sort: the window is
+// at most `limit` entries) and returns the peers, closest first.
+func (s *selector) finalize() []ids.PeerID {
+	for i := 1; i < len(s.dists); i++ {
+		d, p := s.dists[i], s.peers[i]
+		j := i
+		for j > 0 && d.Cmp(s.dists[j-1]) < 0 {
+			s.dists[j] = s.dists[j-1]
+			s.peers[j] = s.peers[j-1]
+			j--
+		}
+		s.dists[j] = d
+		s.peers[j] = p
+	}
+	return s.peers
+}
+
+// xorLess reports whether (k XOR target) < w without materializing the
+// distance key.
+func xorLess(k, target, w ids.Key) bool {
+	for i := 0; i < ids.KeyLen; i++ {
+		db := k[i] ^ target[i]
+		if db != w[i] {
+			return db < w[i]
+		}
+	}
+	return false
+}
+
+// SelectNearest returns the n peers from the slice closest to target in
+// increasing distance order, via the same bounded selection NearestPeers
+// uses. It is the allocation-light replacement for sort-the-whole-slice
+// call sites (topology oracles, resolver sets).
+func SelectNearest(peers []ids.PeerID, target ids.Key, n int) []ids.PeerID {
+	if n <= 0 || len(peers) == 0 {
+		return nil
+	}
+	if n > len(peers) {
+		n = len(peers)
+	}
+	sel := newSelector(target, n)
+	for _, p := range peers {
+		sel.offer(p)
+	}
+	return sel.finalize()
 }
 
 // AllPeers returns every contact's peer ID. Order is bucket-major and

@@ -285,3 +285,55 @@ func BenchmarkNearestPeers(b *testing.B) {
 		_ = tab.NearestPeers(target, K)
 	}
 }
+
+// TestNearestPeersMatchesBruteForce pins the bounded-selection
+// implementation to the obviously-correct specification: sort every
+// contact by XOR distance and take the head. The bucket-order traversal
+// with early skip must be indistinguishable from it.
+func TestNearestPeersMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		self := ids.KeyFromUint64(rng.Uint64())
+		tb := New(self)
+		var all []ids.PeerID
+		for i := 0; i < 30+rng.Intn(400); i++ {
+			p := ids.PeerIDFromSeed(rng.Uint64())
+			if tb.Add(Contact{Peer: p, LastSeen: int64(i)}) {
+				all = append(all, p)
+			}
+		}
+		for _, n := range []int{1, 3, K, 2 * K, len(all) + 5} {
+			target := ids.KeyFromUint64(rng.Uint64())
+			got := tb.NearestPeers(target, n)
+			want := SortByDistance(all, target)
+			if n < len(want) {
+				want = want[:n]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d n=%d: got %d peers, want %d", trial, n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d n=%d: position %d differs", trial, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectNearestMatchesSort pins SelectNearest the same way.
+func TestSelectNearestMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var peers []ids.PeerID
+	for i := 0; i < 300; i++ {
+		peers = append(peers, ids.PeerIDFromSeed(rng.Uint64()))
+	}
+	target := ids.KeyFromUint64(99)
+	got := SelectNearest(peers, target, 24)
+	want := SortByDistance(peers, target)[:24]
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package maddr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives Parse with arbitrary strings. Invariants:
+//
+//   - Parse never panics (it must survive provider records scraped off
+//     a hostile network);
+//   - on success the parsed address round-trips: String re-parses to an
+//     identical value, so stored and re-advertised addresses are stable;
+//   - on success the address is structurally sane (valid IP, known
+//     transport).
+//
+// The seed corpus under testdata/fuzz/FuzzParse covers every accepted
+// shape (ip4/ip6 × tcp/udp/quic-v1 × p2p/circuit) plus classic
+// malformed inputs; `go test` replays it even without -fuzz.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"/ip4/1.2.3.4/tcp/4001",
+		"/ip4/91.2.3.4/udp/4001/quic-v1",
+		"/ip6/2001:db8::1/tcp/4001",
+		"/ip4/52.0.0.1/tcp/4001/p2p/12D3KooABC",
+		"/ip4/52.0.0.1/tcp/4001/p2p/12D3KooRelay/p2p-circuit",
+		"/ip4/10.0.0.1/udp/0",
+		"/ip4/1.2.3.4/tcp/4001/ipfs/12D3KooLegacy",
+		"",
+		"/",
+		"ip4/1.2.3.4/tcp/4001",
+		"/ip4/1.2.3.4",
+		"/ip4/999.2.3.4/tcp/4001",
+		"/ip4/2001:db8::1/tcp/4001",
+		"/ip6/1.2.3.4/tcp/4001",
+		"/ip4/1.2.3.4/tcp/70000",
+		"/ip4/1.2.3.4/tcp/-1",
+		"/ip4/1.2.3.4/sctp/4001",
+		"/dns4/example.com/tcp/4001",
+		"/ip4/1.2.3.4/tcp/4001/p2p",
+		"/ip4/1.2.3.4/tcp/4001/p2p/",
+		"/ip4/1.2.3.4/tcp/4001/bogus/x",
+		"/ip4/1.2.3.4/udp/4001/quic-v1/p2p-circuit",
+		strings.Repeat("/ip4/1.2.3.4", 64),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !a.IsValid() {
+			t.Fatalf("Parse(%q) accepted a structurally invalid address: %+v", s, a)
+		}
+		rendered := a.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round-trip re-parse of %q (from %q) failed: %v", rendered, s, err)
+		}
+		if back != a {
+			t.Fatalf("round-trip mismatch: %q -> %+v -> %q -> %+v", s, a, rendered, back)
+		}
+	})
+}

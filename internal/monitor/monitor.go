@@ -63,32 +63,38 @@ func (m *Monitor) HasBlock(c ids.CID) bool { return m.blocks[c] }
 func (m *Monitor) Requesters() int { return len(m.requesters) }
 
 // HandleBitswapWant logs the broadcast and answers from the blockstore.
-func (m *Monitor) HandleBitswapWant(from ids.PeerID, c ids.CID) bool {
+// The log append and requester bookkeeping are deferred through the
+// caller's lane, so broadcasts from concurrent shards land in the log in
+// deterministic lane-merge order.
+func (m *Monitor) HandleBitswapWant(env *netsim.Effects, from ids.PeerID, c ids.CID) bool {
 	ip, viaRelay := m.net.ObservedAddr(from)
-	m.requesters[from] = true
-	m.log.Append(trace.Event{
+	e := trace.Event{
 		Time:     m.net.Clock.Now(),
 		Peer:     from,
 		IP:       ip,
 		Type:     netsim.MsgBitswapWant,
 		CID:      c,
 		ViaRelay: viaRelay,
+	}
+	env.Defer(func() {
+		m.requesters[from] = true
+		m.log.Append(e)
 	})
 	return m.blocks[c]
 }
 
 // HandleFindNode: the monitor is not a DHT server.
-func (m *Monitor) HandleFindNode(from ids.PeerID, target ids.Key) []netsim.PeerInfo {
+func (m *Monitor) HandleFindNode(env *netsim.Effects, from ids.PeerID, target ids.Key) []netsim.PeerInfo {
 	return nil
 }
 
 // HandleGetProviders: the monitor is not a DHT server.
-func (m *Monitor) HandleGetProviders(from ids.PeerID, c ids.CID) ([]netsim.ProviderRecord, []netsim.PeerInfo) {
+func (m *Monitor) HandleGetProviders(env *netsim.Effects, from ids.PeerID, c ids.CID) ([]netsim.ProviderRecord, []netsim.PeerInfo) {
 	return nil, nil
 }
 
 // HandleAddProvider: records are ignored; the monitor only listens.
-func (m *Monitor) HandleAddProvider(from ids.PeerID, c ids.CID, rec netsim.ProviderRecord) {
+func (m *Monitor) HandleAddProvider(env *netsim.Effects, from ids.PeerID, c ids.CID, rec netsim.ProviderRecord) {
 }
 
 // DailySample implements the paper's daily sampled Bitswap CIDs dataset:

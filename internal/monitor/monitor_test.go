@@ -90,10 +90,10 @@ func TestMonitorServesPlantedContent(t *testing.T) {
 func TestMonitorIsNotDHTServer(t *testing.T) {
 	net := simtest.BuildServers(5)
 	m := attachMonitor(net)
-	if got := m.HandleFindNode(net.Nodes[0].ID(), ids.KeyFromUint64(0)); got != nil {
+	if got := m.HandleFindNode(nil, net.Nodes[0].ID(), ids.KeyFromUint64(0)); got != nil {
 		t.Error("monitor answered FindNode")
 	}
-	recs, closer := m.HandleGetProviders(net.Nodes[0].ID(), ids.CIDFromSeed(1))
+	recs, closer := m.HandleGetProviders(nil, net.Nodes[0].ID(), ids.CIDFromSeed(1))
 	if recs != nil || closer != nil {
 		t.Error("monitor answered GetProviders")
 	}

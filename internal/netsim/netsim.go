@@ -76,18 +76,24 @@ type ProviderRecord struct {
 
 // Handler is the protocol surface a peer exposes to the network. Node,
 // the Hydra booster and the Bitswap monitor all implement it.
+//
+// Every method receives the caller's Effects lane. Handlers must route
+// all state mutations (routing-table learns, record stores, log
+// appends, queue pushes) through env.Defer and keep the computed
+// response a pure function of pre-phase state; env is nil in serial
+// (immediate) mode, where Defer applies on the spot.
 type Handler interface {
 	// HandleFindNode answers a DHT FindNode: the K closest contacts to
 	// target from the peer's routing table. DHT clients return nil.
-	HandleFindNode(from ids.PeerID, target ids.Key) []PeerInfo
+	HandleFindNode(env *Effects, from ids.PeerID, target ids.Key) []PeerInfo
 	// HandleGetProviders answers a DHT GetProviders: any provider records
 	// held for c, plus the K closest contacts to c's key.
-	HandleGetProviders(from ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo)
+	HandleGetProviders(env *Effects, from ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo)
 	// HandleAddProvider ingests a provider record for c.
-	HandleAddProvider(from ids.PeerID, c ids.CID, rec ProviderRecord)
+	HandleAddProvider(env *Effects, from ids.PeerID, c ids.CID, rec ProviderRecord)
 	// HandleBitswapWant answers a Bitswap WANT(c): whether the peer has
 	// the block.
-	HandleBitswapWant(from ids.PeerID, c ids.CID) bool
+	HandleBitswapWant(env *Effects, from ids.PeerID, c ids.CID) bool
 }
 
 // MsgType labels RPCs for traffic accounting.
@@ -143,8 +149,12 @@ type hostRecord struct {
 	unlimitedInbound bool
 }
 
-// Network is the simulated overlay. It is not safe for concurrent use:
-// the simulation is single-threaded and deterministic by design.
+// Network is the simulated overlay. Mutating methods (Attach, Detach,
+// SetOnline, …) are single-threaded: drivers call them between phases.
+// During a Fanout phase, concurrent goroutines may issue RPCs through
+// per-lane Effects buffers — handlers defer their writes and the merge
+// replays them in lane order, keeping every run (and every worker
+// count) byte-identical. See phase.go.
 type Network struct {
 	Clock    Clock
 	hosts    map[ids.PeerID]*hostRecord
@@ -182,13 +192,27 @@ type HostConfig struct {
 func (n *Network) Attach(id ids.PeerID, h Handler, cfg HostConfig) {
 	n.hosts[id] = &hostRecord{
 		handler:          h,
-		addrs:            append([]maddr.Addr(nil), cfg.Addrs...),
+		addrs:            exactCopy(cfg.Addrs),
 		online:           true,
 		reachable:        cfg.Reachable,
 		relay:            cfg.Relay,
 		sourceIP:         cfg.SourceIP,
 		unlimitedInbound: cfg.UnlimitedInbound,
 	}
+}
+
+// exactCopy clones an address list with cap == len. Host address slices
+// are handed out by Addrs/Info without further copying (the simulator's
+// hottest allocation site otherwise), so they must be immutable: writes
+// replace the whole slice, and the exact capacity guarantees any append
+// a holder performs reallocates instead of scribbling on shared memory.
+func exactCopy(addrs []maddr.Addr) []maddr.Addr {
+	if len(addrs) == 0 {
+		return nil
+	}
+	out := make([]maddr.Addr, len(addrs))
+	copy(out, addrs)
+	return out
 }
 
 // Detach removes a peer entirely (e.g. a node that left and regenerated
@@ -204,10 +228,11 @@ func (n *Network) SetOnline(id ids.PeerID, online bool) {
 	}
 }
 
-// SetAddrs replaces a peer's advertised addresses (IP rotation).
+// SetAddrs replaces a peer's advertised addresses (IP rotation). The
+// previous slice is left intact for any holder that aliased it.
 func (n *Network) SetAddrs(id ids.PeerID, addrs []maddr.Addr) {
 	if h, ok := n.hosts[id]; ok {
-		h.addrs = append([]maddr.Addr(nil), addrs...)
+		h.addrs = exactCopy(addrs)
 	}
 }
 
@@ -239,9 +264,13 @@ func (n *Network) Relay(id ids.PeerID) ids.PeerID {
 }
 
 // Addrs returns the peer's advertised addresses (nil for unknown peers).
+// The returned slice is shared and must be treated as immutable; it has
+// no spare capacity, so appending to it is safe (reallocates). Address
+// updates swap in a fresh slice, leaving held references to the old
+// snapshot valid — which is also what makes concurrent phase reads safe.
 func (n *Network) Addrs(id ids.PeerID) []maddr.Addr {
 	if h, ok := n.hosts[id]; ok {
-		return append([]maddr.Addr(nil), h.addrs...)
+		return h.addrs
 	}
 	return nil
 }
@@ -335,45 +364,65 @@ func (n *Network) dial(to ids.PeerID) (*hostRecord, error) {
 
 // FindNode performs a FindNode RPC from `from` to `to`.
 func (n *Network) FindNode(from, to ids.PeerID, target ids.Key) ([]PeerInfo, error) {
+	return n.FindNodeVia(nil, from, to, target)
+}
+
+// FindNodeVia is FindNode issued through an Effects lane (nil = serial).
+func (n *Network) FindNodeVia(env *Effects, from, to ids.PeerID, target ids.Key) ([]PeerInfo, error) {
 	h, err := n.dial(to)
 	if err != nil {
 		return nil, err
 	}
-	n.msgCount[MsgFindNode]++
-	return h.handler.HandleFindNode(from, target), nil
+	n.count(env, MsgFindNode)
+	return h.handler.HandleFindNode(env, from, target), nil
 }
 
 // GetProviders performs a GetProviders RPC.
 func (n *Network) GetProviders(from, to ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo, error) {
+	return n.GetProvidersVia(nil, from, to, c)
+}
+
+// GetProvidersVia is GetProviders issued through an Effects lane.
+func (n *Network) GetProvidersVia(env *Effects, from, to ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo, error) {
 	h, err := n.dial(to)
 	if err != nil {
 		return nil, nil, err
 	}
-	n.msgCount[MsgGetProviders]++
-	recs, closer := h.handler.HandleGetProviders(from, c)
+	n.count(env, MsgGetProviders)
+	recs, closer := h.handler.HandleGetProviders(env, from, c)
 	return recs, closer, nil
 }
 
 // AddProvider performs an AddProvider RPC.
 func (n *Network) AddProvider(from, to ids.PeerID, c ids.CID, rec ProviderRecord) error {
+	return n.AddProviderVia(nil, from, to, c, rec)
+}
+
+// AddProviderVia is AddProvider issued through an Effects lane.
+func (n *Network) AddProviderVia(env *Effects, from, to ids.PeerID, c ids.CID, rec ProviderRecord) error {
 	h, err := n.dial(to)
 	if err != nil {
 		return err
 	}
-	n.msgCount[MsgAddProvider]++
-	h.handler.HandleAddProvider(from, c, rec)
+	n.count(env, MsgAddProvider)
+	h.handler.HandleAddProvider(env, from, c, rec)
 	return nil
 }
 
 // BitswapWant performs a Bitswap WANT RPC, returning whether the target
 // has the block.
 func (n *Network) BitswapWant(from, to ids.PeerID, c ids.CID) (bool, error) {
+	return n.BitswapWantVia(nil, from, to, c)
+}
+
+// BitswapWantVia is BitswapWant issued through an Effects lane.
+func (n *Network) BitswapWantVia(env *Effects, from, to ids.PeerID, c ids.CID) (bool, error) {
 	h, err := n.dial(to)
 	if err != nil {
 		return false, err
 	}
-	n.msgCount[MsgBitswapWant]++
-	return h.handler.HandleBitswapWant(from, c), nil
+	n.count(env, MsgBitswapWant)
+	return h.handler.HandleBitswapWant(env, from, c), nil
 }
 
 // MessageCount returns the number of RPCs of the given type delivered so

@@ -20,19 +20,19 @@ type stubHandler struct {
 	recs          []ProviderRecord
 }
 
-func (s *stubHandler) HandleFindNode(from ids.PeerID, target ids.Key) []PeerInfo {
+func (s *stubHandler) HandleFindNode(env *Effects, from ids.PeerID, target ids.Key) []PeerInfo {
 	s.findNodeCalls++
 	s.lastFrom = from
 	return s.peers
 }
-func (s *stubHandler) HandleGetProviders(from ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo) {
+func (s *stubHandler) HandleGetProviders(env *Effects, from ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo) {
 	s.getCalls++
 	return s.recs, s.peers
 }
-func (s *stubHandler) HandleAddProvider(from ids.PeerID, c ids.CID, rec ProviderRecord) {
+func (s *stubHandler) HandleAddProvider(env *Effects, from ids.PeerID, c ids.CID, rec ProviderRecord) {
 	s.addCalls++
 }
-func (s *stubHandler) HandleBitswapWant(from ids.PeerID, c ids.CID) bool {
+func (s *stubHandler) HandleBitswapWant(env *Effects, from ids.PeerID, c ids.CID) bool {
 	s.wantCalls++
 	return s.has
 }
@@ -177,16 +177,22 @@ func TestAddrsAndPrimaryIP(t *testing.T) {
 	if got := n.PrimaryIP(p); got != direct.IP {
 		t.Errorf("PrimaryIP = %v, want %v (circuit addrs skipped)", got, direct.IP)
 	}
-	// Addrs returns a copy.
+	// Addrs shares the host's immutable snapshot with exact capacity:
+	// appending to it must reallocate, never scribble on shared memory.
 	as := n.Addrs(p)
-	as[0] = addrOf("1.1.1.1")
-	if n.Addrs(p)[0].IP.String() == "1.1.1.1" {
-		t.Error("Addrs exposed internal slice")
+	_ = append(as, addrOf("1.1.1.1"))
+	if got := n.Addrs(p); len(got) != 2 || got[1] != direct {
+		t.Error("append to Addrs result corrupted the host's address list")
 	}
-	// Rotation.
+	// Rotation replaces the slice wholesale; held references keep the
+	// pre-rotation snapshot (what concurrent phase readers rely on).
+	before := n.Addrs(p)
 	n.SetAddrs(p, []maddr.Addr{addrOf("91.9.9.9")})
 	if got := n.PrimaryIP(p); got.String() != "91.9.9.9" {
 		t.Errorf("PrimaryIP after rotation = %v", got)
+	}
+	if len(before) != 2 || before[0] != relayAddr {
+		t.Error("held snapshot mutated by SetAddrs")
 	}
 }
 

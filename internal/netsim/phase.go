@@ -1,0 +1,130 @@
+package netsim
+
+import "sync"
+
+// Effects is the per-lane buffer that makes concurrent phases
+// deterministic. During a parallel phase every worker issues RPCs
+// through its own Effects value: RPC counters accumulate locally and
+// every state mutation a handler would perform is recorded as a deferred
+// closure instead of applied in place. When the phase ends, Apply
+// replays the buffers in a fixed lane order, so the merged state —
+// message counts, routing-table learns, provider-record stores, monitor
+// and Hydra logs, pending-lookup queues — is a pure function of the lane
+// decomposition, never of goroutine scheduling or worker count.
+//
+// A nil *Effects means immediate mode: Defer applies the closure on the
+// spot and counters go straight to the Network. Serial code paths
+// (world construction, single-threaded drivers, tests) use nil and
+// behave exactly as the pre-concurrency simulator did.
+type Effects struct {
+	deferred []func()
+	counts   [msgTypeCount]int64
+}
+
+// Defer records a side effect to apply at merge time, or applies it
+// immediately when e is nil (serial mode).
+func (e *Effects) Defer(f func()) {
+	if e == nil {
+		f()
+		return
+	}
+	e.deferred = append(e.deferred, f)
+}
+
+// Pending returns the number of buffered side effects.
+func (e *Effects) Pending() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.deferred)
+}
+
+// count records one RPC of type t against the lane (or the network
+// directly in immediate mode).
+func (n *Network) count(env *Effects, t MsgType) {
+	if env == nil {
+		n.msgCount[t]++
+		return
+	}
+	env.counts[t]++
+}
+
+// Apply merges lane buffers into the network in the given order: RPC
+// counters are summed and deferred side effects run in emission order,
+// lane by lane. Callers must pass lanes in a fixed, scheduling-
+// independent order (shard index, task index) — that ordering is the
+// whole determinism contract.
+func (n *Network) Apply(envs ...*Effects) {
+	for _, e := range envs {
+		if e == nil {
+			continue
+		}
+		for t, c := range e.counts {
+			n.msgCount[t] += c
+		}
+		for _, f := range e.deferred {
+			f()
+		}
+		e.deferred = nil
+		e.counts = [msgTypeCount]int64{}
+	}
+}
+
+// Fanout runs tasks concurrently on at most `workers` goroutines, hands
+// each task a private Effects lane, and — once every task has returned —
+// applies all lanes in task order. The observable outcome is therefore
+// byte-identical for every workers value (including 1): only wall-clock
+// changes. During the phase the network must not be mutated directly;
+// handlers route their writes through the lane, and phase code may only
+// read shared state.
+func (n *Network) Fanout(workers int, tasks []func(env *Effects)) {
+	if len(tasks) == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	envs := make([]*Effects, len(tasks))
+	for i := range envs {
+		envs[i] = &Effects{}
+	}
+	ParallelFor(workers, len(tasks), func(i int) { tasks[i](envs[i]) })
+	n.Apply(envs...)
+}
+
+// ParallelFor runs f(0..n-1) on at most `workers` goroutines (in the
+// calling goroutine when workers <= 1). It is the one worker-pool
+// idiom every phase engine shares; callers are responsible for f being
+// safe to fan out and for consuming results in a fixed index order.
+func ParallelFor(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// No goroutines: determinism across worker counts comes from
+		// the callers' index-ordered merges, not scheduling.
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -36,7 +36,13 @@ type Config struct {
 }
 
 // Node is a simulated IPFS node. It implements netsim.Handler.
-// Not safe for concurrent use; the simulation is single-threaded.
+//
+// Concurrency: within a netsim.Fanout phase, handler methods are pure
+// reads over pre-phase state — every mutation (routing-table learns,
+// provider puts, block additions, served counter) is deferred through
+// the caller's Effects lane and replayed at the deterministic merge.
+// Direct mutators (AddBlock, ConnectBitswap, LearnPeer, …) remain
+// single-threaded driver calls between phases.
 type Node struct {
 	id     ids.PeerID
 	net    *netsim.Network
@@ -48,7 +54,7 @@ type Node struct {
 	blocks    map[ids.CID]bool
 
 	bitswapPeers  map[ids.PeerID]bool
-	bitswapSorted []ids.PeerID // cache, rebuilt on change, for deterministic order
+	bitswapSorted []ids.PeerID // maintained key-sorted on connect/disconnect
 
 	// served counts Bitswap blocks this node sent to others.
 	served int64
@@ -94,60 +100,63 @@ func (n *Node) Served() int64 { return n.served }
 // HandleFindNode answers a FindNode RPC. DHT clients do not serve the DHT
 // and return nothing. Servers opportunistically learn the caller if it is
 // itself a server (real tables only hold DHT servers).
-func (n *Node) HandleFindNode(from ids.PeerID, target ids.Key) []netsim.PeerInfo {
+func (n *Node) HandleFindNode(env *netsim.Effects, from ids.PeerID, target ids.Key) []netsim.PeerInfo {
 	if !n.cfg.DHTServer {
 		return nil
 	}
-	n.maybeLearn(from)
+	n.maybeLearn(env, from)
 	return n.peerInfos(n.rt.NearestPeers(target, kademlia.K))
 }
 
 // HandleGetProviders answers a GetProviders RPC with any unexpired
 // provider records for c plus the closest contacts to c's key.
-func (n *Node) HandleGetProviders(from ids.PeerID, c ids.CID) ([]netsim.ProviderRecord, []netsim.PeerInfo) {
+func (n *Node) HandleGetProviders(env *netsim.Effects, from ids.PeerID, c ids.CID) ([]netsim.ProviderRecord, []netsim.PeerInfo) {
 	if !n.cfg.DHTServer {
 		return nil, nil
 	}
-	n.maybeLearn(from)
+	n.maybeLearn(env, from)
 	recs := n.providers.Get(c, n.net.Clock.Now())
 	closer := n.peerInfos(n.rt.NearestPeers(c.Key(), kademlia.K))
 	return recs, closer
 }
 
 // HandleAddProvider stores a provider record if the node is a DHT server.
-func (n *Node) HandleAddProvider(from ids.PeerID, c ids.CID, rec netsim.ProviderRecord) {
+func (n *Node) HandleAddProvider(env *netsim.Effects, from ids.PeerID, c ids.CID, rec netsim.ProviderRecord) {
 	if !n.cfg.DHTServer {
 		return
 	}
-	n.maybeLearn(from)
+	n.maybeLearn(env, from)
 	rec.Received = n.net.Clock.Now()
-	n.providers.Put(c, rec)
+	env.Defer(func() { n.providers.Put(c, rec) })
 }
 
 // HandleBitswapWant answers a Bitswap WANT: whether this node has the
 // block. A positive answer counts as serving the block (the requester
 // will pull it over the same connection).
-func (n *Node) HandleBitswapWant(from ids.PeerID, c ids.CID) bool {
+func (n *Node) HandleBitswapWant(env *netsim.Effects, from ids.PeerID, c ids.CID) bool {
 	if n.blocks[c] {
-		n.served++
+		env.Defer(func() { n.served++ })
 		return true
 	}
 	return false
 }
 
 // maybeLearn adds the caller to the routing table when it is a reachable
-// DHT participant, refreshing LastSeen.
-func (n *Node) maybeLearn(from ids.PeerID) {
+// DHT participant, refreshing LastSeen. The table write is deferred to
+// the lane merge so concurrent callers never race on the buckets.
+func (n *Node) maybeLearn(env *netsim.Effects, from ids.PeerID) {
 	if from.IsZero() || from == n.id {
 		return
 	}
 	if !n.net.Reachable(from) {
 		return
 	}
-	n.rt.AddReplacingStale(
-		kademlia.Contact{Peer: from, LastSeen: n.net.Clock.Now()},
-		n.net.Clock.Now()-6*3600, // evict contacts silent for >6h
-	)
+	env.Defer(func() {
+		n.rt.AddReplacingStale(
+			kademlia.Contact{Peer: from, LastSeen: n.net.Clock.Now()},
+			n.net.Clock.Now()-6*3600, // evict contacts silent for >6h
+		)
+	})
 }
 
 func (n *Node) peerInfos(peers []ids.PeerID) []netsim.PeerInfo {
@@ -222,7 +231,12 @@ func (n *Node) LearnPeer(p ids.PeerID, lastSeen netsim.Time) bool {
 // Provide advertises this node as a provider for c, per the paper: a
 // GetClosestPeers walk to find the K resolvers, then AddProvider to each.
 func (n *Node) Provide(c ids.CID) ([]ids.PeerID, dht.WalkStats) {
-	return n.walker.Provide(n.seedInfos(c.Key()), c, n.net.Info(n.id))
+	return n.ProvideVia(nil, c)
+}
+
+// ProvideVia is Provide issued through an Effects lane (nil = serial).
+func (n *Node) ProvideVia(env *netsim.Effects, c ids.CID) ([]ids.PeerID, dht.WalkStats) {
+	return n.walker.ProvideVia(env, n.seedInfos(c.Key()), c, n.net.Info(n.id))
 }
 
 // ProvideDirect advertises without the iterative walk, sending
@@ -232,10 +246,15 @@ func (n *Node) Provide(c ids.CID) ([]ids.PeerID, dht.WalkStats) {
 // which is why the paper's Hydra sees 40% ADD_PROVIDER but only 3%
 // FIND_NODE traffic). Returns the resolvers that accepted the record.
 func (n *Node) ProvideDirect(c ids.CID, resolvers []ids.PeerID) []ids.PeerID {
+	return n.ProvideDirectVia(nil, c, resolvers)
+}
+
+// ProvideDirectVia is ProvideDirect issued through an Effects lane.
+func (n *Node) ProvideDirectVia(env *netsim.Effects, c ids.CID, resolvers []ids.PeerID) []ids.PeerID {
 	rec := netsim.ProviderRecord{Provider: n.net.Info(n.id), Received: n.net.Clock.Now()}
 	var accepted []ids.PeerID
 	for _, r := range resolvers {
-		if err := n.net.AddProvider(n.id, r, c, rec); err == nil {
+		if err := n.net.AddProviderVia(env, n.id, r, c, rec); err == nil {
 			accepted = append(accepted, r)
 		}
 	}
@@ -244,7 +263,12 @@ func (n *Node) ProvideDirect(c ids.CID, resolvers []ids.PeerID) []ids.PeerID {
 
 // FindProviders resolves c via the DHT.
 func (n *Node) FindProviders(c ids.CID, opts dht.FindProvidersOpts) ([]netsim.ProviderRecord, dht.WalkStats) {
-	return n.walker.FindProviders(n.seedInfos(c.Key()), c, opts)
+	return n.FindProvidersVia(nil, c, opts)
+}
+
+// FindProvidersVia is FindProviders issued through an Effects lane.
+func (n *Node) FindProvidersVia(env *netsim.Effects, c ids.CID, opts dht.FindProvidersOpts) ([]netsim.ProviderRecord, dht.WalkStats) {
+	return n.walker.FindProvidersVia(env, n.seedInfos(c.Key()), c, opts)
 }
 
 // --- Blockstore ---
@@ -266,6 +290,11 @@ func (n *Node) Blocks() int { return len(n.blocks) }
 // ConnectBitswap records a (one-directional) Bitswap connection to p.
 // Scenario code calls it on both ends for a bidirectional link. It
 // returns false when the connection manager is at capacity.
+//
+// The sorted neighbour cache is maintained eagerly on (single-threaded)
+// connect/disconnect rather than rebuilt lazily on read: BitswapPeers
+// is called from concurrent retrieval lanes, which must see a stable,
+// read-only slice.
 func (n *Node) ConnectBitswap(p ids.PeerID) bool {
 	if p == n.id || p.IsZero() {
 		return false
@@ -277,7 +306,13 @@ func (n *Node) ConnectBitswap(p ids.PeerID) bool {
 		return false
 	}
 	n.bitswapPeers[p] = true
-	n.bitswapSorted = nil
+	k := p.Key()
+	i := sort.Search(len(n.bitswapSorted), func(i int) bool {
+		return n.bitswapSorted[i].Key().Cmp(k) >= 0
+	})
+	n.bitswapSorted = append(n.bitswapSorted, ids.PeerID{})
+	copy(n.bitswapSorted[i+1:], n.bitswapSorted[i:])
+	n.bitswapSorted[i] = p
 	return true
 }
 
@@ -285,22 +320,19 @@ func (n *Node) ConnectBitswap(p ids.PeerID) bool {
 func (n *Node) DisconnectBitswap(p ids.PeerID) {
 	if n.bitswapPeers[p] {
 		delete(n.bitswapPeers, p)
-		n.bitswapSorted = nil
+		for i, q := range n.bitswapSorted {
+			if q == p {
+				n.bitswapSorted = append(n.bitswapSorted[:i], n.bitswapSorted[i+1:]...)
+				break
+			}
+		}
 	}
 }
 
 // BitswapPeers returns the current neighbour set in deterministic
-// (key-sorted) order.
+// (key-sorted) order. The returned slice is shared; callers must not
+// modify it.
 func (n *Node) BitswapPeers() []ids.PeerID {
-	if n.bitswapSorted == nil {
-		n.bitswapSorted = make([]ids.PeerID, 0, len(n.bitswapPeers))
-		for p := range n.bitswapPeers {
-			n.bitswapSorted = append(n.bitswapSorted, p)
-		}
-		sort.Slice(n.bitswapSorted, func(i, j int) bool {
-			return n.bitswapSorted[i].Key().Cmp(n.bitswapSorted[j].Key()) < 0
-		})
-	}
 	return n.bitswapSorted
 }
 
@@ -327,6 +359,14 @@ type RetrieveResult struct {
 // stores the block and (matching IPFS defaults) becomes a provider,
 // advertising itself when reprovide is true.
 func (n *Node) Retrieve(c ids.CID, reprovide bool) RetrieveResult {
+	return n.RetrieveVia(nil, c, reprovide)
+}
+
+// RetrieveVia is Retrieve issued through an Effects lane: all RPCs count
+// against the lane and the block store/reprovide writes are deferred to
+// the merge, so concurrent retrievals across shards stay race-free and
+// deterministic.
+func (n *Node) RetrieveVia(env *netsim.Effects, c ids.CID, reprovide bool) RetrieveResult {
 	var res RetrieveResult
 	if n.blocks[c] {
 		res.Found = true
@@ -336,7 +376,7 @@ func (n *Node) Retrieve(c ids.CID, reprovide bool) RetrieveResult {
 
 	// Step 1: Bitswap broadcast.
 	for _, p := range n.BitswapPeers() {
-		has, err := n.net.BitswapWant(n.id, p, c)
+		has, err := n.net.BitswapWantVia(env, n.id, p, c)
 		res.WantsSent++
 		if err == nil && has {
 			res.Found = true
@@ -348,13 +388,13 @@ func (n *Node) Retrieve(c ids.CID, reprovide bool) RetrieveResult {
 
 	// Step 2: DHT resolution.
 	if !res.Found {
-		recs, stats := n.FindProviders(c, dht.FindProvidersOpts{})
+		recs, stats := n.FindProvidersVia(env, c, dht.FindProvidersOpts{})
 		res.Walk = stats
 		for _, r := range recs {
 			if r.Provider.ID == n.id {
 				continue
 			}
-			has, err := n.net.BitswapWant(n.id, r.Provider.ID, c)
+			has, err := n.net.BitswapWantVia(env, n.id, r.Provider.ID, c)
 			if err != nil || !has {
 				continue
 			}
@@ -365,9 +405,9 @@ func (n *Node) Retrieve(c ids.CID, reprovide bool) RetrieveResult {
 	}
 
 	if res.Found {
-		n.blocks[c] = true
+		env.Defer(func() { n.blocks[c] = true })
 		if reprovide {
-			n.Provide(c)
+			n.ProvideVia(env, c)
 		}
 	}
 	return res

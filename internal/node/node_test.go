@@ -273,14 +273,14 @@ func TestDHTClientDoesNotServe(t *testing.T) {
 	net.Attach(clientID, client, netsim.HostConfig{Reachable: true})
 	client.LearnPeer(nodes[0].ID(), 0)
 
-	if got := client.HandleFindNode(nodes[0].ID(), ids.KeyFromUint64(0)); got != nil {
+	if got := client.HandleFindNode(nil, nodes[0].ID(), ids.KeyFromUint64(0)); got != nil {
 		t.Error("DHT client answered FindNode")
 	}
-	recs, closer := client.HandleGetProviders(nodes[0].ID(), ids.CIDFromSeed(1))
+	recs, closer := client.HandleGetProviders(nil, nodes[0].ID(), ids.CIDFromSeed(1))
 	if recs != nil || closer != nil {
 		t.Error("DHT client answered GetProviders")
 	}
-	client.HandleAddProvider(nodes[0].ID(), ids.CIDFromSeed(1), netsim.ProviderRecord{})
+	client.HandleAddProvider(nil, nodes[0].ID(), ids.CIDFromSeed(1), netsim.ProviderRecord{})
 	if client.ProviderRecordCount() != 0 {
 		t.Error("DHT client stored a provider record")
 	}
@@ -293,7 +293,7 @@ func TestServerLearnsCallers(t *testing.T) {
 	if a.RoutingTable().Contains(b.ID()) {
 		t.Fatal("setup: remove failed")
 	}
-	a.HandleFindNode(b.ID(), ids.KeyFromUint64(0))
+	a.HandleFindNode(nil, b.ID(), ids.KeyFromUint64(0))
 	if !a.RoutingTable().Contains(b.ID()) {
 		t.Error("server did not learn reachable caller")
 	}
@@ -366,8 +366,14 @@ func TestProviderStoreTTL(t *testing.T) {
 	if got := len(s.Get(c, 110)); got != 0 {
 		t.Fatalf("expired record still returned (count %d)", got)
 	}
+	// Get is a pure read (concurrent walk lanes call it); pruning is
+	// Expire's job.
+	if s.CIDs() != 1 {
+		t.Error("Get mutated the store")
+	}
+	s.Expire(110)
 	if s.CIDs() != 0 {
-		t.Error("expired CID entry not pruned on read")
+		t.Error("expired CID entry not pruned by Expire")
 	}
 }
 

@@ -31,23 +31,21 @@ func (s *ProviderStore) Put(c ids.CID, rec netsim.ProviderRecord) {
 	m[rec.Provider.ID] = rec
 }
 
-// Get returns the unexpired records for c at time now, pruning expired
-// ones as a side effect. Order is deterministic (ascending provider key).
+// Get returns the unexpired records for c at time now. It is a pure
+// read — expired entries are filtered from the result but pruned only by
+// Expire — so concurrent lookups from parallel walk lanes never mutate
+// the store. Order is deterministic (ascending provider key).
 func (s *ProviderStore) Get(c ids.CID, now netsim.Time) []netsim.ProviderRecord {
 	m := s.recs[c]
 	if len(m) == 0 {
 		return nil
 	}
 	out := make([]netsim.ProviderRecord, 0, len(m))
-	for pid, rec := range m {
+	for _, rec := range m {
 		if now-rec.Received >= s.ttl {
-			delete(m, pid)
 			continue
 		}
 		out = append(out, rec)
-	}
-	if len(m) == 0 {
-		delete(s.recs, c)
 	}
 	// Deterministic ordering for the single-threaded simulator.
 	for i := 1; i < len(out); i++ {

@@ -69,7 +69,13 @@ func Verify(net *netsim.Network, rec netsim.ProviderRecord) bool {
 
 // CollectOne retrieves and verifies all provider records for one CID.
 func (c *Collector) CollectOne(cid ids.CID, day int64) CIDRecords {
-	recs, _ := c.walker.FindProviders(c.seeds(cid.Key()), cid, dht.FindProvidersOpts{Exhaustive: true})
+	return c.CollectOneVia(nil, cid, day)
+}
+
+// CollectOneVia is CollectOne with the exhaustive walk issued through an
+// Effects lane.
+func (c *Collector) CollectOneVia(env *netsim.Effects, cid ids.CID, day int64) CIDRecords {
+	recs, _ := c.walker.FindProvidersVia(env, c.seeds(cid.Key()), cid, dht.FindProvidersOpts{Exhaustive: true})
 	out := CIDRecords{CID: cid, Day: day}
 	for _, r := range recs {
 		if Verify(c.net, r) {
@@ -84,9 +90,29 @@ func (c *Collector) CollectOne(cid ids.CID, day int64) CIDRecords {
 // CollectDay runs CollectOne over a day's sampled CIDs, appending to the
 // collection.
 func (c *Collector) CollectDay(col *Collection, cids []ids.CID, day int64) {
-	for _, cid := range cids {
-		col.PerCID = append(col.PerCID, c.CollectOne(cid, day))
+	c.CollectDayParallel(col, cids, day, 1)
+}
+
+// CollectDayParallel is CollectDay with the per-CID walks fanned out
+// over at most `workers` goroutines. Every walk is independent and the
+// results are appended in sampled-CID order, so the collection — and the
+// deferred handler effects the walks generate (Hydra log entries and
+// proactive-lookup enqueues among them) — is identical for every worker
+// count.
+func (c *Collector) CollectDayParallel(col *Collection, cids []ids.CID, day int64, workers int) {
+	if len(cids) == 0 {
+		return
 	}
+	out := make([]CIDRecords, len(cids))
+	tasks := make([]func(env *netsim.Effects), len(cids))
+	for i := range cids {
+		i := i
+		tasks[i] = func(env *netsim.Effects) {
+			out[i] = c.CollectOneVia(env, cids[i], day)
+		}
+	}
+	c.net.Fanout(workers, tasks)
+	col.PerCID = append(col.PerCID, out...)
 }
 
 // CIDs returns the number of (CID, day) collections gathered.

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"math/rand"
+
 	"tcsb/internal/crawler"
 	"tcsb/internal/dht"
 	"tcsb/internal/ids"
@@ -22,20 +24,50 @@ func (w *World) Day() int { return w.tick / TicksPerDay }
 
 // StepTick advances the world by one hour: churn, content lifecycle,
 // request traffic, platform advertisement, and Hydra cache filling.
+//
+// The tick is executed in sharded phases (see shards.go): the actor
+// population is partitioned into Shards fixed shards, each phase is
+// planned per shard on its own splitmix-derived RNG stream (in parallel
+// when w.Workers > 1), and results are applied — or, for the expensive
+// request execution and Hydra drains, run on netsim Effects lanes and
+// merged — in fixed shard order. The world's evolution is therefore a
+// pure function of (Config, tick), identical for every Workers value.
 func (w *World) StepTick() {
-	w.stepChurn()
-	w.stepContent()
-	w.stepRequests()
-	w.stepPlatformAdvertise()
-	w.Hydra.ProcessPending(128)
-	for _, h := range w.PLHydras {
-		h.ProcessPending(128)
+	rngs := make([]*rand.Rand, Shards)
+	for s := range rngs {
+		rngs[s] = w.shardRNG(s)
 	}
+
+	// Phase 1: churn — planned per shard, applied in shard order.
+	views := w.shardViews()
+	churn := make([][]churnDecision, Shards)
+	w.eachShard(func(s int) { churn[s] = w.planChurn(rngs[s], &views[s]) })
+	w.applyChurn(churn)
+
+	// Phase 2: content lifecycle. Expiry is deterministic bookkeeping;
+	// births are planned per shard against the post-churn population.
+	w.expireContent()
+	views = w.shardViews()
+	births := make([][]birthPlan, Shards)
+	w.eachShard(func(s int) { births[s] = w.planBirths(s, rngs[s], &views[s]) })
+	w.applyBirths(births)
+
+	// Phase 3: request traffic — planned per shard, executed on the
+	// worker pool with per-shard effect lanes.
+	reqs := make([][]requestPlan, Shards)
+	w.eachShard(func(s int) { reqs[s] = w.planRequests(s, rngs[s], &views[s]) })
+	w.runRequests(reqs)
+
+	// Phase 4: advertisement and Hydra cache filling.
+	w.stepPlatformAdvertise()
+	w.drainHydras()
+
 	if w.tick%TicksPerDay == TicksPerDay-1 {
 		w.refreshTopology()
 		// The catalogue grew; rebuild the popularity samplers over it so
 		// newly published content becomes requestable (rank order keeps
-		// platform content at the head).
+		// platform content at the head). Shard planners draw from these
+		// shared immutable tables with their own RNGs.
 		w.zipf = stats.NewZipfApprox(w.Rng, w.Cfg.ZipfExponent, len(w.catalog))
 		w.zipfTail = stats.NewZipfApprox(w.Rng, 0.35, len(w.catalog))
 	}
@@ -53,50 +85,6 @@ func (w *World) RunDays(d int, afterDay func(day int)) {
 		if afterDay != nil {
 			afterDay(w.Day() - 1)
 		}
-	}
-}
-
-// stepChurn flips actor liveness with per-class probabilities and applies
-// the residential behaviours the counting methodologies disagree about:
-// IP rotation and peer-ID regeneration on re-join.
-func (w *World) stepChurn() {
-	for _, id := range append([]ids.PeerID(nil), w.order...) {
-		a := w.Actors[id]
-		if a == nil {
-			continue // regenerated earlier this tick
-		}
-		if a.Platform != "" {
-			continue // platform and gateway nodes are professionally run
-		}
-		offP, onP := w.Cfg.CloudOfflineProb, w.Cfg.CloudOnlineProb
-		if !a.Cloud {
-			offP, onP = w.Cfg.NonCloudOfflineProb, w.Cfg.NonCloudOnlineProb
-		}
-		if a.Online {
-			if w.Rng.Float64() < offP {
-				a.Online = false
-				w.Net.SetOnline(a.ID, false)
-			}
-			continue
-		}
-		if w.Rng.Float64() >= onP {
-			continue
-		}
-		// Re-join.
-		if !a.Cloud && w.Rng.Float64() < w.Cfg.RegenerateIDProb {
-			w.regenerateActor(a)
-			continue
-		}
-		rotateP := w.Cfg.RotateIPProb
-		if a.NAT {
-			rotateP *= 0.35 // home users' NAT leases are longer-lived
-		}
-		if !a.Cloud && w.Rng.Float64() < rotateP {
-			w.rotateIP(a)
-		}
-		a.Online = true
-		w.Net.SetOnline(a.ID, true)
-		w.fillTableOf(a)
 	}
 }
 
@@ -126,7 +114,7 @@ func (w *World) regenerateActor(old *Actor) {
 	a.IP = w.Alloc.ResidentialIP(a.Country)
 	a.Node = newNodeFor(w, a, old.NAT)
 	// Replace in the order and role slices, keeping positions stable for
-	// determinism.
+	// determinism (the position also fixes the actor's shard).
 	for i, x := range w.order {
 		if x == old.ID {
 			w.order[i] = id
@@ -166,9 +154,9 @@ func (w *World) regenerateActor(old *Actor) {
 	}
 }
 
-// stepContent ages the catalogue: expired user content is dropped by its
-// owner, and a trickle of new user content is published.
-func (w *World) stepContent() {
+// expireContent ages the catalogue: expired user content is dropped by
+// its owner.
+func (w *World) expireContent() {
 	liveOut := w.live[:0]
 	for _, idx := range w.live {
 		e := &w.catalog[idx]
@@ -181,93 +169,11 @@ func (w *World) stepContent() {
 		liveOut = append(liveOut, idx)
 	}
 	w.live = liveOut
-	births := 1 + w.Cfg.UserCIDs/60
-	for i := 0; i < births; i++ {
-		w.publishUserContent()
-	}
-}
-
-// pickRequestCID draws a CID (dead content included — requests for
-// vanished CIDs are normal and feed the Hydra amplification), sometimes
-// entirely bogus. Direct users request head-of-distribution content
-// (resolved mostly via Bitswap broadcasts); gateways front the world's
-// HTTP users and therefore sample much deeper into the tail, where DHT
-// walks are needed.
-func (w *World) pickRequestCID(tail bool) ids.CID {
-	if w.Rng.Float64() < w.Cfg.BogusCIDFrac {
-		return w.nextCID() // never provided by anyone
-	}
-	// Most retrievals target content that is currently being shared
-	// (live); the remainder follow the rank distribution over the whole
-	// catalogue, dead entries included — requests for vanished CIDs are
-	// normal traffic and feed the Hydra amplification.
-	liveP := 0.20
-	if tail {
-		liveP = 0.55
-	}
-	if len(w.live) > 0 && w.Rng.Float64() < liveP {
-		return w.catalog[w.live[w.Rng.Intn(len(w.live))]].cid
-	}
-	var idx int
-	if tail {
-		idx = w.zipfTail.Draw()
-	} else {
-		idx = w.zipf.Draw()
-	}
-	if idx >= len(w.catalog) {
-		idx = len(w.catalog) - 1
-	}
-	return w.catalog[idx].cid
-}
-
-// stepRequests generates the tick's retrieval traffic.
-func (w *World) stepRequests() {
-	for i := 0; i < w.Cfg.RequestsPerTick; i++ {
-		if w.Rng.Float64() < w.Cfg.GatewayTrafficShare {
-			w.gatewayFetch(w.pickRequestCID(true))
-			continue
-		}
-		c := w.pickRequestCID(false)
-		a := w.weightedRequester()
-		if a == nil {
-			continue
-		}
-		res := a.Node.Retrieve(c, false)
-		// IPFS clients become providers for what they download; the
-		// reprovider runs in batches (every 12-22h), modelled as a
-		// throttled direct re-advertisement. Home users hold on to
-		// content longer than ephemeral cloud workers.
-		reprovideP := 0.1
-		if !a.Cloud {
-			reprovideP = 0.3
-		}
-		if res.Found && w.Rng.Float64() < reprovideP {
-			a.Node.ProvideDirect(c, w.resolversFor(c))
-		}
-	}
-}
-
-// gatewayFetch routes an HTTP retrieval to a gateway: the ipfs-bank-style
-// platform takes the lion's share, then the CDN gateway, then the rest.
-func (w *World) gatewayFetch(c ids.CID) {
-	r := w.Rng.Float64()
-	var gw = w.IPFSBank
-	switch {
-	case r < 0.55:
-		gw = w.IPFSBank
-	case r < 0.85:
-		gw = w.Gateways[0] // cloudflare-style
-	default:
-		gw = w.Gateways[w.Rng.Intn(len(w.Gateways))]
-	}
-	ok, nd := gw.FetchHTTPNode(c)
-	if ok && nd != nil && w.Rng.Float64() < 0.7 {
-		nd.ProvideDirect(c, w.resolversFor(c))
-	}
 }
 
 // resolversFor returns the online resolver set for a CID (the K closest
-// online servers, hydra heads included).
+// online servers, hydra heads included). Read-only: safe to call from
+// concurrent request lanes.
 func (w *World) resolversFor(c ids.CID) []ids.PeerID {
 	var out []ids.PeerID
 	for _, p := range w.nearestServers(c.Key(), 2*dht.K) {
@@ -279,24 +185,6 @@ func (w *World) resolversFor(c ids.CID) []ids.PeerID {
 		}
 	}
 	return out
-}
-
-// weightedRequester picks an online actor proportional to its activity
-// weight (platforms are much chattier than home users), via rejection
-// sampling against the max weight.
-func (w *World) weightedRequester() *Actor {
-	const maxActivity = 2
-	for tries := 0; tries < 128; tries++ {
-		id := w.order[w.Rng.Intn(len(w.order))]
-		a := w.Actors[id]
-		if a == nil || !a.Online {
-			continue
-		}
-		if w.Rng.Float64() < a.activity/maxActivity {
-			return a
-		}
-	}
-	return nil
 }
 
 // stepPlatformAdvertise is the daily reprovide pass (kubo re-advertises
@@ -338,11 +226,17 @@ func (w *World) stepPlatformAdvertise() {
 // refreshTopology re-fills neighbourhood buckets daily, modelling bucket
 // refreshes; churn ghosts remain in the far buckets of peers that have
 // not refreshed them, which is what crawls observe as uncrawlable leaves.
+// It also runs the daily provider-record GC (the store filters expired
+// records on read; pruning is batched here so reads stay pure).
 func (w *World) refreshTopology() {
 	w.rebuildRing()
 	for _, id := range w.order {
 		a := w.Actors[id]
-		if a == nil || !a.Online {
+		if a == nil {
+			continue
+		}
+		a.Node.ExpireProviders()
+		if !a.Online {
 			continue
 		}
 		now := w.Net.Clock.Now()
@@ -367,7 +261,8 @@ func (w *World) CollectorID() ids.PeerID {
 }
 
 // Crawl performs one crawl of the world with a dedicated crawler
-// identity, seeded from stable gateway nodes.
+// identity, seeded from stable gateway nodes. The crawl's dial fan-out
+// runs on w.Workers goroutines; its snapshot is Workers-independent.
 func (w *World) Crawl(id int) *crawler.Snapshot {
 	seeds := make([]netsim.PeerInfo, 0, 4)
 	for _, nd := range w.Gateways[0].Nodes() {
@@ -379,6 +274,7 @@ func (w *World) Crawl(id int) *crawler.Snapshot {
 	return crawler.Crawl(w.Net, crawler.Config{
 		ID:        id,
 		CrawlerID: w.CrawlerID(),
+		Parallel:  w.Workers,
 	}, seeds)
 }
 

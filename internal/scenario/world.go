@@ -11,6 +11,7 @@ import (
 	"tcsb/internal/hydra"
 	"tcsb/internal/ids"
 	"tcsb/internal/ipdb"
+	"tcsb/internal/kademlia"
 	"tcsb/internal/maddr"
 	"tcsb/internal/monitor"
 	"tcsb/internal/netsim"
@@ -58,13 +59,25 @@ type catalogEntry struct {
 }
 
 // World is a fully built simulated IPFS ecosystem.
+//
+// Ticks execute in sharded phases (shards.go): planning fans out over
+// Shards fixed per-tick RNG streams, mutation applies in shard order,
+// and the expensive phases (request traffic, Hydra drains) run on
+// Workers goroutines over netsim Effects lanes. The evolution is
+// byte-identical for every Workers value.
 type World struct {
-	Cfg   Config
-	Rng   *rand.Rand
-	Net   *netsim.Network
-	DB    *ipdb.DB
-	Alloc *ipdb.Allocator
-	DNS   *dnssim.Universe
+	Cfg Config
+	// Rng is the serial master stream: world construction and the
+	// serial apply phases draw from it. Parallel planners use
+	// per-(tick, shard) splitmix-derived streams instead (shardRNG).
+	Rng *rand.Rand
+	// Workers bounds the goroutine pool used for tick phases and crawls
+	// (1 = fully serial execution; results are identical either way).
+	Workers int
+	Net     *netsim.Network
+	DB      *ipdb.DB
+	Alloc   *ipdb.Allocator
+	DNS     *dnssim.Universe
 
 	Actors  map[ids.PeerID]*Actor
 	order   []ids.PeerID // creation order, for deterministic iteration
@@ -84,6 +97,9 @@ type World struct {
 	// platformNodes maps storage platforms to their overlay nodes; the
 	// whole cluster co-advertises every catalogue CID.
 	platformNodes map[string][]*node.Node
+	// bankIdx is IPFSBank's index in Gateways (request planning routes
+	// the platform's share of HTTP traffic by index).
+	bankIdx int
 
 	catalog []catalogEntry
 	live    []int // indices into catalog of currently-provided CIDs
@@ -101,12 +117,13 @@ type World struct {
 // monitor, hydra, initial content. The clock starts at tick 0.
 func NewWorld(cfg Config) *World {
 	w := &World{
-		Cfg:    cfg,
-		Rng:    rand.New(rand.NewSource(cfg.Seed)),
-		Net:    netsim.New(),
-		DB:     ipdb.Default(),
-		DNS:    dnssim.NewUniverse(),
-		Actors: make(map[ids.PeerID]*Actor),
+		Cfg:     cfg,
+		Rng:     rand.New(rand.NewSource(cfg.Seed)),
+		Workers: 1,
+		Net:     netsim.New(),
+		DB:      ipdb.Default(),
+		DNS:     dnssim.NewUniverse(),
+		Actors:  make(map[ids.PeerID]*Actor),
 	}
 	w.Alloc = ipdb.NewAllocator(w.DB, w.Rng)
 	w.peerSeq = uint64(cfg.Seed)<<32 + 1
@@ -288,6 +305,7 @@ func (w *World) buildGateways() {
 		frontends(2, ipdb.AmazonAWS),
 		mkNodes(4, true, ipdb.AmazonAWS, PlatformIPFSBank))
 	w.Gateways = append(w.Gateways, w.IPFSBank)
+	w.bankIdx = len(w.Gateways) - 1
 
 	// Small community gateways: mixed hosting, some non-cloud (the open
 	// ecosystem the paper calls commendable).
@@ -509,17 +527,11 @@ func (w *World) nearestServers(target ids.Key, n int) []ids.PeerID {
 	}
 	// Window of 8n around the insertion point covers the true n nearest
 	// under XOR with overwhelming probability for random keys; for exact
-	// behaviour at small scale just sort everything when the ring is
-	// small.
+	// behaviour at small scale select over everything when the ring is
+	// small. Selection (kademlia.SelectNearest) replaces the former
+	// window sort: same result, no O(w log w) comparator churn.
 	if len(w.ring) <= 8*n {
-		sorted := append([]ids.PeerID(nil), w.ring...)
-		sort.Slice(sorted, func(i, j int) bool {
-			return sorted[i].Key().Xor(target).Cmp(sorted[j].Key().Xor(target)) < 0
-		})
-		if n > len(sorted) {
-			n = len(sorted)
-		}
-		return sorted[:n]
+		return kademlia.SelectNearest(w.ring, target, n)
 	}
 	i := sort.Search(len(w.ring), func(i int) bool {
 		return w.ring[i].Key().Cmp(target) >= 0
@@ -532,14 +544,7 @@ func (w *World) nearestServers(target ids.Key, n int) []ids.PeerID {
 	if hi > len(w.ring) {
 		hi = len(w.ring)
 	}
-	window := append([]ids.PeerID(nil), w.ring[lo:hi]...)
-	sort.Slice(window, func(a, b int) bool {
-		return window[a].Key().Xor(target).Cmp(window[b].Key().Xor(target)) < 0
-	})
-	if n > len(window) {
-		n = len(window)
-	}
-	return window[:n]
+	return kademlia.SelectNearest(w.ring[lo:hi], target, n)
 }
 
 // wireBitswap sets up Bitswap neighbourhoods: ordinary nodes get
@@ -606,12 +611,6 @@ func (w *World) seedContent() {
 	w.zipf = stats.NewZipfApprox(w.Rng, w.Cfg.ZipfExponent, len(w.catalog))
 	w.zipfTail = stats.NewZipfApprox(w.Rng, 0.35, len(w.catalog))
 }
-
-// publishUserContent creates one ephemeral user CID. Ownership skews
-// toward the user fringe — NAT-ed clients and non-cloud servers — which
-// is what puts NAT-ed and non-cloud providers into the provider-record
-// dataset (Figs. 14-16).
-func (w *World) publishUserContent() { w.publishUserContentAged(0) }
 
 // publishUserContentAged publishes a user CID as if it were created
 // ageOffset ticks from now (negative = in the past, for initial

@@ -1,0 +1,59 @@
+package campaign
+
+import (
+	"testing"
+)
+
+func TestObservatoryFixtureCachesPerKey(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds observation campaigns")
+	}
+	a := SmallObservatory(3, 1)
+	if b := SmallObservatory(3, 1); b != a {
+		t.Error("same key rebuilt the fixture")
+	}
+	if c := SmallObservatory(4, 1); c == a {
+		t.Error("different seed returned the cached fixture")
+	}
+}
+
+// TestObservatoryFixtureWorkerIndependence is the dataset-level half of
+// the determinism contract: the same seed observed with 1 and with 4
+// workers yields identical datasets (the experiments package asserts
+// the rendered-output half).
+func TestObservatoryFixtureWorkerIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two observation campaigns")
+	}
+	serial := SmallObservatory(3, 1)
+	pooled := SmallObservatory(3, 4)
+	if serial == pooled {
+		t.Fatal("distinct worker counts must build distinct fixtures")
+	}
+	if a, b := serial.HydraLog.Len(), pooled.HydraLog.Len(); a != b {
+		t.Fatalf("hydra logs differ: %d vs %d", a, b)
+	}
+	for i, e := range serial.HydraLog.Events() {
+		if e != pooled.HydraLog.Events()[i] {
+			t.Fatalf("hydra log event %d differs", i)
+		}
+	}
+	if a, b := serial.Crawls.UniquePeers(), pooled.Crawls.UniquePeers(); a != b {
+		t.Fatalf("crawl series differ: %d vs %d unique peers", a, b)
+	}
+	if a, b := serial.Records.TotalRecords(), pooled.Records.TotalRecords(); a != b {
+		t.Fatalf("record collections differ: %d vs %d", a, b)
+	}
+	if a, b := serial.World.Net.TotalMessages(), pooled.World.Net.TotalMessages(); a != b {
+		t.Fatalf("traffic differs: %d vs %d RPCs", a, b)
+	}
+	mon, monP := serial.World.Monitor.Log(), pooled.World.Monitor.Log()
+	if mon.Len() != monP.Len() {
+		t.Fatalf("monitor logs differ: %d vs %d", mon.Len(), monP.Len())
+	}
+	for i, e := range mon.Events() {
+		if e != monP.Events()[i] {
+			t.Fatalf("monitor event %d differs", i)
+		}
+	}
+}

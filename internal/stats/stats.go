@@ -331,7 +331,15 @@ func NewZipfApprox(rng *rand.Rand, s float64, n int) *ZipfApprox {
 
 // Draw returns a rank in [0, n): rank 0 is the most popular item.
 func (z *ZipfApprox) Draw() int {
-	u := z.rng.Float64()
+	return z.DrawWith(z.rng)
+}
+
+// DrawWith draws a rank using the supplied RNG instead of the sampler's
+// own. The precomputed weight table is immutable after construction, so
+// one sampler can be shared by concurrent shard planners that each hold
+// a private RNG stream.
+func (z *ZipfApprox) DrawWith(rng *rand.Rand) int {
+	u := rng.Float64()
 	return sort.SearchFloat64s(z.cum, u)
 }
 
