@@ -30,6 +30,7 @@ import (
 	"tcsb/internal/indexer"
 	"tcsb/internal/netsim"
 	"tcsb/internal/node"
+	"tcsb/internal/report"
 	"tcsb/internal/scenario"
 	"tcsb/internal/simtest"
 	"tcsb/internal/simtest/campaign"
@@ -82,10 +83,17 @@ func BenchmarkExperiments(b *testing.B) {
 	o := benchObservatory(b)
 	for _, e := range experiments.All() {
 		e := e
+		// Delta (whatif.*) experiments derive from a campaign pair; the
+		// self-pair measures the derivation cost without a second
+		// campaign build (every delta renders as zero).
+		derive := func() []*report.Table { return e.Run(o) }
+		if e.IsDelta() {
+			derive = func() []*report.Table { return e.Delta(o, o) }
+		}
 		b.Run(e.Name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if tables := e.Run(o); len(tables) == 0 {
+				if tables := derive(); len(tables) == 0 {
 					b.Fatalf("%s produced no tables", e.Name)
 				}
 			}

@@ -8,13 +8,18 @@
 //	tcsb-experiments -list
 //	tcsb-experiments [-seed N] [-scale F] [-days N] [-only fig3,fig13]
 //	                 [-workers N] [-parallel N] [-json]
+//	tcsb-experiments -what-if hydra-dissolution[,aws-outage,...]
+//	                 [-only whatif.fig8] [-json] [...]
 //
 // -workers drives the observation campaign (world ticks, crawls,
 // provider-record collection) on a bounded goroutine pool; -parallel
 // bounds concurrently executing experiments over the finished
-// observatory. Output on stdout is a deterministic function of the
-// flags and seed: for the same selection it is byte-identical for every
-// -workers and -parallel value (timings and progress go to stderr).
+// observatory. -what-if runs a paired campaign instead — a baseline world
+// and a world rewritten by the named interventions, sharing the -workers
+// pool — and renders the whatif.* delta experiments over the pair.
+// Output on stdout is a deterministic function of the flags and seed:
+// for the same selection it is byte-identical for every -workers and
+// -parallel value (timings and progress go to stderr).
 package main
 
 import (
@@ -26,7 +31,9 @@ import (
 	"time"
 
 	"tcsb/internal/core"
+	"tcsb/internal/counterfactual"
 	"tcsb/internal/experiments"
+	"tcsb/internal/report"
 	"tcsb/internal/scenario"
 )
 
@@ -35,14 +42,17 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "population scale factor (1.0 ≈ 1/12 of the real network)")
 	days := flag.Int("days", 10, "observation days")
 	only := flag.String("only", "", "comma-separated experiment filter (e.g. table1,fig3,fig13)")
+	whatIf := flag.String("what-if", "", "comma-separated counterfactual interventions (e.g. hydra-dissolution,churn-2x); runs a paired baseline/intervention campaign and the whatif.* delta experiments")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutine pool size for the observation campaign (output is identical for every value)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max experiments executed concurrently")
 	jsonOut := flag.Bool("json", false, "emit JSONL (one JSON object per table) instead of text tables")
-	list := flag.Bool("list", false, "list registered experiments and exit")
+	list := flag.Bool("list", false, "list registered experiments and interventions, then exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(experiments.ListTable())
+		fmt.Println()
+		fmt.Println(interventionList())
 		return
 	}
 
@@ -52,8 +62,17 @@ func main() {
 			names = append(names, f)
 		}
 	}
-	// Validate the selection before paying for the simulation.
-	if _, err := experiments.Select(names); err != nil {
+	var interventions []counterfactual.Intervention
+	if *whatIf != "" {
+		var err error
+		if interventions, err = counterfactual.Parse(*whatIf); err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+			os.Exit(2)
+		}
+	}
+	// Validate the selection — against the mode actually requested — before
+	// paying for the simulation.
+	if _, err := experiments.SelectFor(names, len(interventions) > 0); err != nil {
 		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
 		os.Exit(2)
 	}
@@ -64,21 +83,45 @@ func main() {
 	rc.Days = *days
 	rc.Workers = *workers
 
-	fmt.Fprintf(os.Stderr, "building world (%d servers, %d NAT clients) and observing %d days (workers=%d)...\n",
-		cfg.Servers, cfg.NATClients, rc.Days, rc.Workers)
-	start := time.Now()
-	o := core.Observe(cfg, rc)
-	fmt.Fprintf(os.Stderr, "observation complete in %v (%d total RPCs)\n",
-		time.Since(start).Round(time.Millisecond), o.World.Net.TotalMessages())
+	var results []experiments.Result
+	var err error
+	if len(interventions) > 0 {
+		spec := counterfactual.Spec(interventions)
+		fmt.Fprintf(os.Stderr, "building paired worlds (%d servers, %d NAT clients), what-if %s, observing %d days each (workers=%d)...\n",
+			cfg.Servers, cfg.NATClients, spec, rc.Days, rc.Workers)
+		start := time.Now()
+		baseline, whatif := counterfactual.Observe(cfg, rc, interventions)
+		fmt.Fprintf(os.Stderr, "paired observation complete in %v (%d + %d total RPCs)\n",
+			time.Since(start).Round(time.Millisecond),
+			baseline.World.Net.TotalMessages(), whatif.World.Net.TotalMessages())
 
-	runStart := time.Now()
-	results, err := experiments.Run(o, names, *parallel)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
-		os.Exit(2)
+		runStart := time.Now()
+		results, err = experiments.RunPaired(baseline, whatif,
+			counterfactual.NamesOf(interventions), names, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+			os.Exit(2)
+		}
+		// results[0] is the applied-interventions header, not an experiment.
+		fmt.Fprintf(os.Stderr, "%d delta experiments in %v (parallel=%d)\n\n",
+			len(results)-1, time.Since(runStart).Round(time.Millisecond), *parallel)
+	} else {
+		fmt.Fprintf(os.Stderr, "building world (%d servers, %d NAT clients) and observing %d days (workers=%d)...\n",
+			cfg.Servers, cfg.NATClients, rc.Days, rc.Workers)
+		start := time.Now()
+		o := core.Observe(cfg, rc)
+		fmt.Fprintf(os.Stderr, "observation complete in %v (%d total RPCs)\n",
+			time.Since(start).Round(time.Millisecond), o.World.Net.TotalMessages())
+
+		runStart := time.Now()
+		results, err = experiments.Run(o, names, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "%d experiments in %v (parallel=%d)\n\n",
+			len(results), time.Since(runStart).Round(time.Millisecond), *parallel)
 	}
-	fmt.Fprintf(os.Stderr, "%d experiments in %v (parallel=%d)\n\n",
-		len(results), time.Since(runStart).Round(time.Millisecond), *parallel)
 
 	render := experiments.RenderText
 	if *jsonOut {
@@ -88,4 +131,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// interventionList renders the counterfactual catalog for -list.
+func interventionList() *report.Table {
+	t := &report.Table{
+		Title:   "Named interventions (-what-if, comma-composable)",
+		Columns: []string{"name", "description"},
+	}
+	for _, iv := range counterfactual.All() {
+		t.AddRow(iv.Name, iv.Description)
+	}
+	return t
 }

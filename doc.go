@@ -19,6 +19,16 @@
 // record collection and the analysis stages fan out over a bounded
 // worker pool — byte-identical output for every -workers value.
 //
+// A counterfactual layer (internal/counterfactual) turns the calibrated
+// replay into an instrument: named interventions — hydra-dissolution,
+// aws-outage, gateway-surge, no-cloud-providers, churn-2x, composable
+// via -what-if — rewrite the scenario before the campaign runs, a
+// paired runner observes baseline and intervention worlds from one
+// worker budget, and the whatif.* delta experiments render
+// baseline/what-if/delta rows for the paper's reliance claims. The
+// conservation laws no intervention may break are property-tested in
+// internal/simtest/invariants.
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured
 // results (regenerable via `go run ./cmd/tcsb-experiments -json`). The

@@ -32,7 +32,7 @@ func main() {
 		"gateway", dnslink.GatewayShares(results, "non-gateway")))
 
 	// --- Gateway identification (Section 3 / Fig. 18) ---
-	prober := gwprobe.New(w.Monitor, 0xbeef)
+	prober := gwprobe.New(w.Monitor, 0xbeef, w.Net.Online)
 	census := prober.Census(w.PublicGateways(), 12)
 	total := 0
 	for domain, overlayIDs := range census {

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"tcsb/internal/scenario"
+)
+
+// ObservePaired runs two full observation campaigns — the baseline world
+// built from cfg as-is, and a counterfactual world built from a rewritten
+// copy of cfg and then mutated in place — and returns both observatories.
+//
+// The two campaigns share the run's worker budget: with rc.Workers >= 2
+// they execute concurrently, each on half the pool; otherwise they run
+// back-to-back fully serial. Either way each campaign's datasets are a
+// pure function of its (config, RunConfig-shape) alone — the engine's
+// Workers-independence guarantee — so every rendered comparison is
+// byte-identical for every rc.Workers value.
+//
+// rewrite edits the counterfactual's config before world construction
+// (cfg is deep-copied first; the baseline never sees the edits); mutate
+// rewrites the built world before the campaign starts. Both may be nil.
+func ObservePaired(cfg scenario.Config, rewrite func(*scenario.Config), mutate func(*scenario.World), rc RunConfig) (baseline, whatif *Observatory) {
+	whatifCfg := cfg.Clone()
+	if rewrite != nil {
+		rewrite(&whatifCfg)
+	}
+
+	observe := func(c scenario.Config, m func(*scenario.World), workers int) *Observatory {
+		w := scenario.NewWorld(c)
+		if m != nil {
+			m(w)
+		}
+		r := rc
+		r.Workers = workers
+		return ObserveWorld(w, r)
+	}
+
+	if rc.Workers < 2 {
+		baseline = observe(cfg, nil, 1)
+		whatif = observe(whatifCfg, mutate, 1)
+		return baseline, whatif
+	}
+	half := rc.Workers / 2
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		whatif = observe(whatifCfg, mutate, rc.Workers-half)
+	}()
+	baseline = observe(cfg, nil, half)
+	<-done
+	return baseline, whatif
+}

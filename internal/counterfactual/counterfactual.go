@@ -1,0 +1,245 @@
+// Package counterfactual turns the calibrated simulation from a replay
+// into an instrument: named interventions — "what if the Hydra fleet
+// dissolved", "what if AWS went dark", "what if every ordinary server
+// left the cloud" — rewrite a scenario.Config and/or a built
+// scenario.World before the observation campaign runs, and a paired
+// runner produces a baseline and an intervention observatory from one
+// worker budget so every experiment of the paper can be diffed across
+// the two worlds.
+//
+// Interventions compose: "aws-outage,churn-2x" applies both, in spec
+// order, config rewrites before world mutations. Every intervention is
+// deterministic and hooks only into the scenario package's intervention
+// surface (Config fields, DissolvePLHydras, ProviderOutage), so the
+// engine's byte-identical-across-Workers guarantee carries over to
+// counterfactual campaigns unchanged: diffs are diffable bit-for-bit.
+//
+// The measurement vantage points survive every intervention — they are
+// the instruments the diff is observed through, not part of the world
+// under study.
+package counterfactual
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tcsb/internal/core"
+	"tcsb/internal/ipdb"
+	"tcsb/internal/scenario"
+)
+
+// Intervention is one named counterfactual rewrite.
+type Intervention struct {
+	// Name is the CLI key used in -what-if specs. Lower-case, unique.
+	Name string
+	// Description is the one-line summary shown by -list.
+	Description string
+	// Rewrite edits the intervention world's config before construction
+	// (applied to a deep copy; the baseline config is never touched).
+	Rewrite func(*scenario.Config)
+	// Mutate rewrites the built world before the campaign runs.
+	Mutate func(*scenario.World)
+}
+
+var (
+	catalog []Intervention
+	byName  = make(map[string]int)
+)
+
+// Register adds an intervention to the catalog. Like the experiment
+// registry it panics on invalid or duplicate entries: the catalog is
+// assembled in package init and a bad entry is a programming error.
+func Register(iv Intervention) {
+	if iv.Name == "" || (iv.Rewrite == nil && iv.Mutate == nil) {
+		panic("counterfactual: Register with empty name or no effect")
+	}
+	if _, dup := byName[iv.Name]; dup {
+		panic(fmt.Sprintf("counterfactual: duplicate registration of %q", iv.Name))
+	}
+	byName[iv.Name] = len(catalog)
+	catalog = append(catalog, iv)
+}
+
+// All returns the registered interventions in registration order.
+func All() []Intervention {
+	return append([]Intervention(nil), catalog...)
+}
+
+// Names returns the registered intervention names in registration order.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, iv := range catalog {
+		out[i] = iv.Name
+	}
+	return out
+}
+
+// Lookup returns the intervention registered under name.
+func Lookup(name string) (Intervention, bool) {
+	i, ok := byName[name]
+	if !ok {
+		return Intervention{}, false
+	}
+	return catalog[i], true
+}
+
+// Parse resolves a comma-separated -what-if spec into interventions, in
+// spec order (composition order matters: spec order is application
+// order). Unknown and duplicate names are reported together.
+func Parse(spec string) ([]Intervention, error) {
+	var out []Intervention
+	seen := make(map[string]bool)
+	var unknown, repeated []string
+	for _, f := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(strings.ToLower(f))
+		if name == "" {
+			continue
+		}
+		iv, known := Lookup(name)
+		if !known {
+			if !seen[name] {
+				seen[name] = true
+				unknown = append(unknown, name)
+			}
+			continue
+		}
+		if seen[name] {
+			repeated = append(repeated, name)
+			continue
+		}
+		seen[name] = true
+		out = append(out, iv)
+	}
+	if len(unknown)+len(repeated) > 0 {
+		var parts []string
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			parts = append(parts, fmt.Sprintf("unknown interventions %v (known: %s)",
+				unknown, strings.Join(Names(), ", ")))
+		}
+		if len(repeated) > 0 {
+			sort.Strings(repeated)
+			parts = append(parts, fmt.Sprintf("repeated interventions %v (each applies once)", repeated))
+		}
+		return nil, fmt.Errorf("bad intervention spec: %s", strings.Join(parts, "; "))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty intervention spec; known: %s", strings.Join(Names(), ", "))
+	}
+	return out, nil
+}
+
+// NamesOf returns the names of a composed intervention list, in
+// application order — the label set RunPaired tags results with. Both
+// the CLI and examples derive labels here, so one intervention stream
+// always carries one tag shape.
+func NamesOf(ivs []Intervention) []string {
+	names := make([]string, len(ivs))
+	for i, iv := range ivs {
+		names[i] = iv.Name
+	}
+	return names
+}
+
+// Spec renders a composed intervention list back into its canonical
+// comma-separated form.
+func Spec(ivs []Intervention) string {
+	return strings.Join(NamesOf(ivs), ",")
+}
+
+// Compose folds a list of interventions into one (rewrite, mutate) pair,
+// each applying the constituents in list order.
+func Compose(ivs []Intervention) (rewrite func(*scenario.Config), mutate func(*scenario.World)) {
+	rewrite = func(c *scenario.Config) {
+		for _, iv := range ivs {
+			if iv.Rewrite != nil {
+				iv.Rewrite(c)
+			}
+		}
+	}
+	mutate = func(w *scenario.World) {
+		for _, iv := range ivs {
+			if iv.Mutate != nil {
+				iv.Mutate(w)
+			}
+		}
+	}
+	return rewrite, mutate
+}
+
+// BuildWorld constructs just the intervention world (no campaign): the
+// config is deep-copied, rewritten, built and mutated. The invariant
+// suite uses this to put every intervention world under the same
+// property checks as the baseline.
+func BuildWorld(cfg scenario.Config, ivs []Intervention) *scenario.World {
+	rewrite, mutate := Compose(ivs)
+	c := cfg.Clone()
+	rewrite(&c)
+	w := scenario.NewWorld(c)
+	mutate(w)
+	return w
+}
+
+// Observe runs the paired baseline/intervention campaign on the shared
+// worker pool (core.ObservePaired splits rc.Workers across the two
+// campaigns) and returns both observatories.
+func Observe(cfg scenario.Config, rc core.RunConfig, ivs []Intervention) (baseline, whatif *core.Observatory) {
+	rewrite, mutate := Compose(ivs)
+	return core.ObservePaired(cfg, rewrite, mutate, rc)
+}
+
+// The named interventions. Each targets one of the paper's reliance
+// claims; see the descriptions (and EXPERIMENTS.md "Counterfactuals"
+// for measured deltas).
+func init() {
+	Register(Intervention{
+		Name: "hydra-dissolution",
+		Description: "the Protocol Labs Hydra fleet shuts down; the vantage head keeps " +
+			"logging but stops its proactive cache-filling lookups",
+		Rewrite: func(c *scenario.Config) { c.HydraProactiveLookups = false },
+		Mutate:  func(w *scenario.World) { w.DissolvePLHydras() },
+	})
+	Register(Intervention{
+		Name: "aws-outage",
+		Description: "every AWS-hosted actor goes dark permanently — storage platforms, " +
+			"gateway backends, ordinary servers — and the AWS-hosted Hydra fleet with them",
+		Mutate: func(w *scenario.World) {
+			w.DissolvePLHydras()
+			w.ProviderOutage(ipdb.AmazonAWS)
+		},
+	})
+	Register(Intervention{
+		Name: "gateway-surge",
+		Description: "HTTP gateway usage doubles (browser-first adoption): the gateway " +
+			"share of retrievals rises toward its cap",
+		Rewrite: func(c *scenario.Config) {
+			c.GatewayTrafficShare *= 2
+			if c.GatewayTrafficShare > 0.9 {
+				c.GatewayTrafficShare = 0.9
+			}
+		},
+	})
+	Register(Intervention{
+		Name: "no-cloud-providers",
+		Description: "ordinary DHT servers abandon the cloud entirely: the server " +
+			"population is rebuilt fully residential (platform operators stay put)",
+		Rewrite: func(c *scenario.Config) { c.CloudServerFrac = 0 },
+	})
+	Register(Intervention{
+		Name: "churn-2x",
+		Description: "residential churn doubles: nodes go offline twice as often and " +
+			"rotate IPs and identities more aggressively on return",
+		Rewrite: func(c *scenario.Config) {
+			clamp := func(p float64) float64 {
+				if p > 1 {
+					return 1
+				}
+				return p
+			}
+			c.NonCloudOfflineProb = clamp(c.NonCloudOfflineProb * 2)
+			c.RotateIPProb = clamp(c.RotateIPProb * 1.3)
+			c.RegenerateIDProb = clamp(c.RegenerateIDProb * 2)
+		},
+	})
+}

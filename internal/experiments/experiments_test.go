@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tcsb/internal/core"
+	"tcsb/internal/counterfactual"
 	"tcsb/internal/simtest/campaign"
 )
 
@@ -20,6 +21,15 @@ var paperUnits = []string{
 	"fig17", "fig18", "fig19", "fig20",
 }
 
+// whatifUnits is the counterfactual delta catalog: paired experiments
+// that diff a baseline campaign against an intervention campaign.
+var whatifUnits = []string{
+	"whatif.section3", "whatif.fig3", "whatif.fig8",
+	"whatif.section5", "whatif.fig11", "whatif.fig13", "whatif.fig16",
+}
+
+func registrySize() int { return len(paperUnits) + len(whatifUnits) }
+
 func TestRegistryCompleteness(t *testing.T) {
 	names := Names()
 	have := make(map[string]bool, len(names))
@@ -31,9 +41,17 @@ func TestRegistryCompleteness(t *testing.T) {
 			t.Errorf("paper unit %q has no registered experiment", want)
 		}
 	}
-	if len(names) != len(paperUnits) {
-		t.Errorf("registry has %d experiments, paper coverage lists %d — update paperUnits or the catalog",
-			len(names), len(paperUnits))
+	for _, want := range whatifUnits {
+		if !have[want] {
+			t.Errorf("counterfactual unit %q has no registered experiment", want)
+		}
+		if e, _ := Lookup(want); !e.IsDelta() {
+			t.Errorf("counterfactual unit %q must be a Delta experiment", want)
+		}
+	}
+	if len(names) != registrySize() {
+		t.Errorf("registry has %d experiments, coverage lists %d — update paperUnits/whatifUnits or the catalog",
+			len(names), registrySize())
 	}
 	for _, e := range All() {
 		if e.Section == "" || e.Description == "" {
@@ -41,6 +59,9 @@ func TestRegistryCompleteness(t *testing.T) {
 		}
 		if e.Name != strings.ToLower(e.Name) {
 			t.Errorf("experiment name %q must be lower-case (it is a CLI key)", e.Name)
+		}
+		if e.IsDelta() != strings.HasPrefix(e.Name, "whatif.") {
+			t.Errorf("experiment %q: the whatif. prefix and the Delta kind must coincide", e.Name)
 		}
 	}
 }
@@ -53,8 +74,25 @@ func TestLookupAndSelect(t *testing.T) {
 		t.Fatal("fig999 should not exist")
 	}
 	all, err := Select(nil)
-	if err != nil || len(all) != len(paperUnits) {
+	if err != nil || len(all) != registrySize() {
 		t.Fatalf("empty selection: %d experiments, err=%v", len(all), err)
+	}
+	// Mode-scoped selection: empty names filter by kind, explicit names of
+	// the wrong kind are rejected with a pointer at the right mode.
+	plain, err := SelectFor(nil, false)
+	if err != nil || len(plain) != len(paperUnits) {
+		t.Fatalf("SelectFor(run): %d experiments, err=%v", len(plain), err)
+	}
+	deltas, err := SelectFor(nil, true)
+	if err != nil || len(deltas) != len(whatifUnits) {
+		t.Fatalf("SelectFor(delta): %d experiments, err=%v", len(deltas), err)
+	}
+	if _, err := SelectFor([]string{"whatif.fig3"}, false); err == nil ||
+		!strings.Contains(err.Error(), "-what-if") {
+		t.Fatalf("whatif.* without paired mode should point at -what-if, got %v", err)
+	}
+	if _, err := SelectFor([]string{"fig3"}, true); err == nil {
+		t.Fatal("plain experiment in paired mode should error")
 	}
 	// Selection order follows registration order, not request order.
 	sel, err := Select([]string{"fig5", "table1"})
@@ -81,6 +119,8 @@ func TestRegisterRejectsBadEntries(t *testing.T) {
 	}
 	expectPanic("empty", Experiment{})
 	expectPanic("duplicate", Experiment{Name: "fig3", Run: runFig3})
+	expectPanic("both kinds", Experiment{Name: "x", Run: runFig3, Delta: deltaFig3})
+	expectPanic("no kind", Experiment{Name: "x"})
 }
 
 // smallObservatory builds a fast campaign for engine tests, using the
@@ -119,11 +159,15 @@ func renderAll(t *testing.T, o *core.Observatory, parallel int) (string, string)
 // independently — one fully serial, one on an 8-worker pool driving the
 // sharded world ticks, parallel crawl sweeps and fanned-out provider
 // collection — must render byte-identical text and JSONL for the whole
-// catalog. This is the test behind the CLI's contract that stdout is
-// identical for every -workers value.
+// catalog. The same holds for paired counterfactual campaigns: under
+// -what-if hydra-dissolution, workers=1 and workers=8 (the latter
+// splitting the pool across the baseline and intervention worlds running
+// concurrently) must render byte-identical delta streams. This is the
+// test behind the CLI's contract that stdout is identical for every
+// -workers value.
 func TestCampaignWorkerDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("builds two observation campaigns")
+		t.Skip("builds several observation campaigns")
 	}
 	serialText, serialJSON := renderAll(t, smallObservatoryWorkers(5, 1), 1)
 	pooledText, pooledJSON := renderAll(t, smallObservatoryWorkers(5, 8), 4)
@@ -132,6 +176,43 @@ func TestCampaignWorkerDeterminism(t *testing.T) {
 	}
 	if serialJSON != pooledJSON {
 		t.Error("JSONL output differs between campaign workers=1 and workers=8")
+	}
+
+	// The -what-if hydra-dissolution leg: independently built pairs.
+	ivs, err := counterfactual.Parse("hydra-dissolution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderPaired := func(workers, parallel int) (string, string) {
+		rc := campaign.SmallRunConfig()
+		rc.Workers = workers
+		baseline, whatif := counterfactual.Observe(campaign.SmallConfig(5), rc, ivs)
+		results, err := RunPaired(baseline, whatif, []string{"hydra-dissolution"}, nil, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text, jsonl strings.Builder
+		if err := RenderText(&text, results); err != nil {
+			t.Fatal(err)
+		}
+		if err := RenderJSONL(&jsonl, results); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), jsonl.String()
+	}
+	pairSerialText, pairSerialJSON := renderPaired(1, 1)
+	pairPooledText, pairPooledJSON := renderPaired(8, 4)
+	if pairSerialText != pairPooledText {
+		t.Error("what-if text output differs between campaign workers=1 and workers=8")
+	}
+	if pairSerialJSON != pairPooledJSON {
+		t.Error("what-if JSONL output differs between campaign workers=1 and workers=8")
+	}
+	if !strings.Contains(pairSerialJSON, `"whatif":["hydra-dissolution"]`) {
+		t.Error("paired JSONL rows are not tagged with the intervention")
+	}
+	if !strings.Contains(pairSerialJSON, `"experiment":"whatif.fig13"`) {
+		t.Error("paired JSONL stream is missing delta experiments")
 	}
 }
 
@@ -207,8 +288,8 @@ func TestRunSubsetOrder(t *testing.T) {
 
 func TestListTable(t *testing.T) {
 	tbl := ListTable()
-	if len(tbl.Rows) != len(paperUnits) {
-		t.Fatalf("list has %d rows, want %d", len(tbl.Rows), len(paperUnits))
+	if len(tbl.Rows) != registrySize() {
+		t.Fatalf("list has %d rows, want %d", len(tbl.Rows), registrySize())
 	}
 	if tbl.Rows[0][0] != "table1" {
 		t.Fatalf("first listed experiment = %q, want table1", tbl.Rows[0][0])

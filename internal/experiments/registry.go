@@ -34,7 +34,15 @@ type Experiment struct {
 	// executes Run functions concurrently, and byte-identical output
 	// across -parallel settings is a tested guarantee.
 	Run func(*core.Observatory) []*report.Table
+	// Delta derives a baseline-vs-intervention comparison from a paired
+	// counterfactual campaign (the whatif.* entries). Exactly one of Run
+	// and Delta must be set: Delta experiments execute only under
+	// RunPaired, with the same purity requirements as Run.
+	Delta func(baseline, whatif *core.Observatory) []*report.Table
 }
+
+// IsDelta reports whether the experiment is a paired (whatif.*) entry.
+func (e Experiment) IsDelta() bool { return e.Delta != nil }
 
 // The catalog preserves registration order (= paper order), which is the
 // order results are reported in regardless of execution interleaving.
@@ -47,8 +55,8 @@ var (
 // invalid or duplicate registration: the catalog is assembled in package
 // init and a bad entry is a programming error.
 func Register(e Experiment) {
-	if e.Name == "" || e.Run == nil {
-		panic("experiments: Register with empty name or nil Run")
+	if e.Name == "" || (e.Run == nil) == (e.Delta == nil) {
+		panic("experiments: Register needs a name and exactly one of Run/Delta")
 	}
 	if _, dup := byName[e.Name]; dup {
 		panic(fmt.Sprintf("experiments: duplicate registration of %q", e.Name))
@@ -107,4 +115,34 @@ func Select(names []string) ([]Experiment, error) {
 		}
 	}
 	return out, nil
+}
+
+// SelectFor resolves names like Select but scoped to one execution mode:
+// an empty selection means every experiment of the wanted kind, while an
+// explicit name of the wrong kind is an error (a whatif.* entry cannot
+// run without a paired campaign, and vice versa). The CLI validates with
+// it before paying for the simulation.
+func SelectFor(names []string, wantDelta bool) ([]Experiment, error) {
+	exps, err := Select(names)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		var out []Experiment
+		for _, e := range exps {
+			if e.IsDelta() == wantDelta {
+				out = append(out, e)
+			}
+		}
+		return out, nil
+	}
+	for _, e := range exps {
+		if e.IsDelta() && !wantDelta {
+			return nil, fmt.Errorf("experiment %q is a counterfactual delta; it needs -what-if", e.Name)
+		}
+		if !e.IsDelta() && wantDelta {
+			return nil, fmt.Errorf("experiment %q is not a counterfactual delta; run it without -what-if", e.Name)
+		}
+	}
+	return exps, nil
 }

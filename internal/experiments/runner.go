@@ -15,30 +15,26 @@ import (
 type Result struct {
 	Experiment Experiment
 	Tables     []*report.Table
+	// WhatIf names the interventions a paired (counterfactual) run was
+	// diffed under; empty for ordinary runs. It tags JSONL rows so delta
+	// streams from different interventions stay distinguishable.
+	WhatIf []string
 	// Elapsed is wall-clock execution time. It is reported on stderr by
 	// the CLI but never rendered into stdout, which must stay
 	// byte-identical across -parallel settings.
 	Elapsed time.Duration
 }
 
-// Run executes the named experiments (empty = all) over the shared
-// observatory with at most parallel concurrent workers, returning results
-// in registration order regardless of completion order. parallel < 1 is
-// treated as 1. Experiments are pure functions of the observatory, whose
-// shared derived data is memoized behind sync.Once in internal/core, so
-// any parallel setting yields identical results.
-func Run(o *core.Observatory, names []string, parallel int) ([]Result, error) {
-	exps, err := Select(names)
-	if err != nil {
-		return nil, err
-	}
+// runPool executes one derivation per experiment on at most parallel
+// workers, collecting results in registration order regardless of
+// completion order.
+func runPool(exps []Experiment, parallel int, derive func(Experiment) []*report.Table) []Result {
 	if parallel < 1 {
 		parallel = 1
 	}
 	if parallel > len(exps) {
 		parallel = len(exps)
 	}
-
 	results := make([]Result, len(exps))
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -50,7 +46,7 @@ func Run(o *core.Observatory, names []string, parallel int) ([]Result, error) {
 				start := time.Now()
 				results[i] = Result{
 					Experiment: exps[i],
-					Tables:     exps[i].Run(o),
+					Tables:     derive(exps[i]),
 					Elapsed:    time.Since(start),
 				}
 			}
@@ -61,7 +57,66 @@ func Run(o *core.Observatory, names []string, parallel int) ([]Result, error) {
 	}
 	close(next)
 	wg.Wait()
+	return results
+}
+
+// Run executes the named experiments (empty = all non-delta) over the
+// shared observatory with at most parallel concurrent workers, returning
+// results in registration order regardless of completion order. parallel
+// < 1 is treated as 1. Experiments are pure functions of the observatory,
+// whose shared derived data is memoized behind sync.Once in
+// internal/core, so any parallel setting yields identical results.
+func Run(o *core.Observatory, names []string, parallel int) ([]Result, error) {
+	exps, err := SelectFor(names, false)
+	if err != nil {
+		return nil, err
+	}
+	return runPool(exps, parallel, func(e Experiment) []*report.Table {
+		return e.Run(o)
+	}), nil
+}
+
+// RunPaired executes the named delta experiments (empty = all whatif.*)
+// over a baseline/intervention observatory pair on at most parallel
+// workers. labels names the applied interventions; it tags every result
+// and heads the output with a table of what was changed, so two
+// intervention streams are never confusable. Both observatories are
+// finished campaigns and every Delta is a pure function of the pair, so
+// output is byte-identical across parallel (and campaign worker)
+// settings.
+func RunPaired(baseline, whatif *core.Observatory, labels []string, names []string, parallel int) ([]Result, error) {
+	exps, err := SelectFor(names, true)
+	if err != nil {
+		return nil, err
+	}
+	results := runPool(exps, parallel, func(e Experiment) []*report.Table {
+		return e.Delta(baseline, whatif)
+	})
+	head := Result{
+		Experiment: Experiment{
+			Name:        "whatif",
+			Section:     "counterfactual",
+			Description: "applied interventions",
+		},
+		Tables: []*report.Table{interventionTable(labels)},
+	}
+	results = append([]Result{head}, results...)
+	for i := range results {
+		results[i].WhatIf = labels
+	}
 	return results, nil
+}
+
+// interventionTable renders the applied-intervention header table.
+func interventionTable(labels []string) *report.Table {
+	t := &report.Table{
+		Title:   "Counterfactual — applied interventions (in order)",
+		Columns: []string{"#", "intervention"},
+	}
+	for i, l := range labels {
+		t.AddRow(i+1, l)
+	}
+	return t
 }
 
 // RenderText writes the results as aligned text tables, one blank line
@@ -86,8 +141,9 @@ func RenderJSONL(w io.Writer, results []Result) error {
 			line, err := json.Marshal(struct {
 				Experiment string          `json:"experiment"`
 				Section    string          `json:"section"`
+				WhatIf     []string        `json:"whatif,omitempty"`
 				Table      json.RawMessage `json:"table"`
-			}{r.Experiment.Name, r.Experiment.Section, json.RawMessage(t.JSON())})
+			}{r.Experiment.Name, r.Experiment.Section, r.WhatIf, json.RawMessage(t.JSON())})
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,188 @@
+package experiments
+
+// The counterfactual (whatif.*) catalog: one registered Delta experiment
+// per reliance claim the paper makes, each diffing a baseline campaign
+// against an intervention campaign. Entries run only under RunPaired —
+// the plain runner rejects them — and render one table each with
+// metric / baseline / what-if / delta columns, so JSONL consumers get
+// uniform delta rows whatever the intervention.
+
+import (
+	"fmt"
+
+	"tcsb/internal/core"
+	"tcsb/internal/report"
+	"tcsb/internal/scenario"
+	"tcsb/internal/trace"
+)
+
+func init() {
+	Register(Experiment{
+		Name:        "whatif.section3",
+		Section:     "counterfactual §3",
+		Description: "crawl dataset shape under the intervention: peers, IPs, rotation",
+		Delta:       deltaSection3,
+	})
+	Register(Experiment{
+		Name:        "whatif.fig3",
+		Section:     "counterfactual §4.1, Fig. 3",
+		Description: "cloud share of DHT participants under both methodologies",
+		Delta:       deltaFig3,
+	})
+	Register(Experiment{
+		Name:        "whatif.fig8",
+		Section:     "counterfactual §4.2, Fig. 8",
+		Description: "resilience: partition point under targeted removal",
+		Delta:       deltaFig8,
+	})
+	Register(Experiment{
+		Name:        "whatif.section5",
+		Section:     "counterfactual §5",
+		Description: "DHT traffic class mix at the Hydra vantage",
+		Delta:       deltaSection5,
+	})
+	Register(Experiment{
+		Name:        "whatif.fig11",
+		Section:     "counterfactual §5.2, Fig. 11",
+		Description: "cloud share and concentration of DHT and Bitswap traffic",
+		Delta:       deltaFig11,
+	})
+	Register(Experiment{
+		Name:        "whatif.fig13",
+		Section:     "counterfactual §5.4, Fig. 13",
+		Description: "platform traffic attribution: hydra, storage platforms, ipfs-bank",
+		Delta:       deltaFig13,
+	})
+	Register(Experiment{
+		Name:        "whatif.fig16",
+		Section:     "counterfactual §6.2, Fig. 16",
+		Description: "content reliance: CIDs by cloud share of their provider sets",
+		Delta:       deltaFig16,
+	})
+}
+
+// deltaTable builds the uniform four-column comparison table.
+func deltaTable(title string) *report.Table {
+	return &report.Table{
+		Title:   title,
+		Columns: []string{"metric", "baseline", "what-if", "delta"},
+	}
+}
+
+// addShare appends a share-valued metric: percentages with a
+// percentage-point delta.
+func addShare(t *report.Table, metric string, base, whatif float64) {
+	t.AddRow(metric, report.Pct(base), report.Pct(whatif),
+		fmt.Sprintf("%+.1fpp", (whatif-base)*100))
+}
+
+// addCount appends an integer-valued metric with a signed delta.
+func addCount(t *report.Table, metric string, base, whatif int) {
+	t.AddRow(metric, base, whatif, fmt.Sprintf("%+d", whatif-base))
+}
+
+// addFloat appends a real-valued metric with a signed delta.
+func addFloat(t *report.Table, metric string, base, whatif float64) {
+	t.AddRow(metric, fmt.Sprintf("%.2f", base), fmt.Sprintf("%.2f", whatif),
+		fmt.Sprintf("%+.2f", whatif-base))
+}
+
+func deltaSection3(b, w *core.Observatory) []*report.Table {
+	sb, sw := b.Section3(), w.Section3()
+	t := deltaTable("What-if §3 — crawl dataset shape")
+	addFloat(t, "mean discovered/crawl", sb.MeanDiscovered, sw.MeanDiscovered)
+	addFloat(t, "mean crawlable/crawl", sb.MeanCrawlable, sw.MeanCrawlable)
+	addCount(t, "unique peer IDs", sb.UniquePeers, sw.UniquePeers)
+	addCount(t, "unique IPs", sb.UniqueIPs, sw.UniqueIPs)
+	addFloat(t, "mean IPs per peer", sb.MeanIPsPerPeer, sw.MeanIPsPerPeer)
+	return []*report.Table{t}
+}
+
+// fig3Buckets reduces a Fig3 share map to (cloud, non-cloud). The BOTH
+// bucket — peers observed on cloud AND non-cloud addresses in one crawl
+// — counts toward cloud, matching the paper's headline definition (and
+// core's cloudShare): a peer with any cloud presence relies on it.
+func fig3Buckets(m map[string]float64) (cloud, non float64) {
+	for k, v := range m {
+		if k == "non-cloud" {
+			non += v
+		} else {
+			cloud += v
+		}
+	}
+	return
+}
+
+func deltaFig3(b, w *core.Observatory) []*report.Table {
+	rb, rw := b.Fig3CloudStatus(), w.Fig3CloudStatus()
+	t := deltaTable("What-if Fig 3 — DHT participants by cloud status")
+	cb, nb := fig3Buckets(rb.ANShares)
+	cw, nw := fig3Buckets(rw.ANShares)
+	addShare(t, "cloud share (A-N, incl. BOTH)", cb, cw)
+	addShare(t, "non-cloud share (A-N)", nb, nw)
+	cb, nb = fig3Buckets(rb.GIPShares)
+	cw, nw = fig3Buckets(rw.GIPShares)
+	addShare(t, "cloud share (G-IP)", cb, cw)
+	addShare(t, "non-cloud share (G-IP)", nb, nw)
+	return []*report.Table{t}
+}
+
+func deltaFig8(b, w *core.Observatory) []*report.Table {
+	rb, rw := b.Fig8Resilience(), w.Fig8Resilience()
+	t := deltaTable("What-if Fig 8 — resilience to node removal")
+	addShare(t, "full partition at (targeted removal)", rb.FullPartitionAt, rw.FullPartitionAt)
+	// Largest-CC fractions with half the nodes removed: Fractions is the
+	// fixed sample grid, 0.5 sits at index 4 in both runs.
+	for i, f := range rb.Fractions {
+		if f == 0.5 {
+			addShare(t, "largest CC at 50% removed (random)", rb.RandomMean[i], rw.RandomMean[i])
+			addShare(t, "largest CC at 50% removed (targeted)", rb.Targeted[i], rw.Targeted[i])
+			break
+		}
+	}
+	return []*report.Table{t}
+}
+
+func deltaSection5(b, w *core.Observatory) []*report.Table {
+	mb, mw := b.Section5Mix(), w.Section5Mix()
+	t := deltaTable("What-if §5 — DHT traffic class mix at the Hydra vantage")
+	for _, cl := range []trace.Class{trace.Download, trace.Advertise, trace.Other} {
+		addShare(t, cl.String()+" share", mb[cl], mw[cl])
+	}
+	addCount(t, "vantage log events", b.HydraLog.Len(), w.HydraLog.Len())
+	return []*report.Table{t}
+}
+
+func deltaFig11(b, w *core.Observatory) []*report.Table {
+	dhtB, bsB := b.Fig11IPPareto()
+	dhtW, bsW := w.Fig11IPPareto()
+	t := deltaTable("What-if Fig 11 — traffic centralization and cloud share by IP")
+	addShare(t, "DHT: top 5% IPs traffic share", dhtB.Top5Share, dhtW.Top5Share)
+	addShare(t, "DHT: cloud traffic share", dhtB.GroupTraffic["cloud"], dhtW.GroupTraffic["cloud"])
+	addShare(t, "Bitswap: top 5% IPs traffic share", bsB.Top5Share, bsW.Top5Share)
+	addShare(t, "Bitswap: cloud traffic share", bsB.GroupTraffic["cloud"], bsW.GroupTraffic["cloud"])
+	return []*report.Table{t}
+}
+
+func deltaFig13(b, w *core.Observatory) []*report.Table {
+	rb, rw := b.Fig13Platforms(), w.Fig13Platforms()
+	t := deltaTable("What-if Fig 13 — platform traffic attribution")
+	addShare(t, "hydra share of all DHT traffic", rb.DHTAll["hydra"], rw.DHTAll["hydra"])
+	addShare(t, "hydra share of DHT download traffic", rb.DHTDownload["hydra"], rw.DHTDownload["hydra"])
+	addShare(t, "web3.storage share of DHT advertise traffic",
+		rb.DHTAdvertise[scenario.PlatformWeb3Storage], rw.DHTAdvertise[scenario.PlatformWeb3Storage])
+	addShare(t, "ipfs-bank share of Bitswap traffic",
+		rb.Bitswap[scenario.PlatformIPFSBank], rw.Bitswap[scenario.PlatformIPFSBank])
+	return []*report.Table{t}
+}
+
+func deltaFig16(b, w *core.Observatory) []*report.Table {
+	rb, rw := b.Fig16ContentCloud(), w.Fig16ContentCloud()
+	t := deltaTable("What-if Fig 16 — CIDs by cloud reliance of their provider sets")
+	addCount(t, "CIDs with providers", rb.CIDs, rw.CIDs)
+	addShare(t, ">=1 cloud provider", rb.AtLeastOneCloud, rw.AtLeastOneCloud)
+	addShare(t, ">=half cloud providers", rb.MajorityCloud, rw.MajorityCloud)
+	addShare(t, "only cloud providers", rb.OnlyCloud, rw.OnlyCloud)
+	addShare(t, ">=1 non-cloud provider", rb.AtLeastOneNonCloud, rw.AtLeastOneNonCloud)
+	return []*report.Table{t}
+}

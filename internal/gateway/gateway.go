@@ -78,25 +78,59 @@ func (g *Gateway) FetchHTTP(c ids.CID) bool {
 // performed the retrieval (nil on a cache hit). Scenario drivers use the
 // node to model the gateway re-providing downloaded content.
 func (g *Gateway) FetchHTTPNode(c ids.CID) (bool, *node.Node) {
-	return g.FetchHTTPNodeVia(nil, c)
+	return g.FetchHTTPNodeVia(nil, c, nil)
 }
 
 // FetchHTTPNodeVia is FetchHTTPNode with the retrieval issued through an
-// Effects lane. Gateway-local state (request counters, HTTP cache,
-// round-robin cursor) is mutated in place: the scenario assigns each
-// gateway's HTTP traffic to exactly one shard lane per phase, so only
-// one goroutine ever touches it.
-func (g *Gateway) FetchHTTPNodeVia(env *netsim.Effects, c ids.CID) (bool, *node.Node) {
+// Effects lane and backend liveness supplied by the caller: the
+// load balancer skips offline overlay nodes (health checks), and a
+// cluster with no online backend is dark — the request fails before the
+// cache, which is hosted on the same dead machines. A nil predicate
+// treats every backend as online. Gateway-local state (request
+// counters, HTTP cache, round-robin cursor) is mutated in place: the
+// scenario assigns each gateway's HTTP traffic to exactly one shard
+// lane per phase, so only one goroutine ever touches it.
+func (g *Gateway) FetchHTTPNodeVia(env *netsim.Effects, c ids.CID, online func(ids.PeerID) bool) (bool, *node.Node) {
 	g.Requests++
+	if !g.hasOnline(online) {
+		return false, nil // the whole cluster is dark
+	}
 	if g.cache[c] {
 		g.CacheHits++
 		return true, nil
 	}
-	nd := g.nodes[g.next%len(g.nodes)]
-	g.next++
+	nd := g.nextOnline(online)
 	res := nd.RetrieveVia(env, c, false)
 	if res.Found {
 		g.cache[c] = true
 	}
 	return res.Found, nd
+}
+
+// hasOnline reports whether any backend is online, without moving the
+// round-robin cursor (cache hits must not advance it).
+func (g *Gateway) hasOnline(online func(ids.PeerID) bool) bool {
+	if online == nil {
+		return len(g.nodes) > 0
+	}
+	for _, nd := range g.nodes {
+		if online(nd.ID()) {
+			return true
+		}
+	}
+	return false
+}
+
+// nextOnline advances the round-robin cursor to the next online backend
+// (callers ensure one exists). With every backend online it reduces to
+// the plain rotation, so baseline worlds are untouched.
+func (g *Gateway) nextOnline(online func(ids.PeerID) bool) *node.Node {
+	for i := 0; i < len(g.nodes); i++ {
+		nd := g.nodes[(g.next+i)%len(g.nodes)]
+		if online == nil || online(nd.ID()) {
+			g.next += i + 1
+			return nd
+		}
+	}
+	return nil
 }

@@ -93,3 +93,46 @@ func TestFrontendIPsCopied(t *testing.T) {
 		t.Fatal("FrontendIPs exposed internal slice")
 	}
 }
+
+// TestBackendLiveness pins the load balancer's health-check behaviour:
+// offline backends are skipped, a fully dark cluster fails the request
+// before the cache (the cache lives on the same dead machines), and a
+// nil predicate (the instrument's idealised view) treats everything as
+// online.
+func TestBackendLiveness(t *testing.T) {
+	net := simtest.BuildServers(60)
+	backing := net.Nodes[:3]
+	gw := New("gw.example", []netip.Addr{netip.MustParseAddr("104.17.0.1")}, backing)
+
+	c := ids.CIDFromSeed(777)
+	holder := net.Nodes[20]
+	holder.AddBlock(c)
+	holder.Provide(c)
+
+	// Only backing[1] is up: every fetch must be served by it.
+	up := backing[1].ID()
+	online := func(p ids.PeerID) bool { return p == up }
+	for i := 0; i < 3; i++ {
+		cc := ids.CIDFromSeed(uint64(800 + i))
+		holder.AddBlock(cc)
+		holder.Provide(cc)
+		ok, nd := gw.FetchHTTPNodeVia(nil, cc, online)
+		if !ok || nd == nil || nd.ID() != up {
+			t.Fatalf("fetch %d: ok=%v served by %v, want the one online backend", i, ok, nd)
+		}
+	}
+
+	// Warm the cache through the online backend, then take the cluster
+	// dark: even cached content must fail.
+	if ok, _ := gw.FetchHTTPNodeVia(nil, c, online); !ok {
+		t.Fatal("warm-up fetch failed")
+	}
+	dark := func(ids.PeerID) bool { return false }
+	if ok, nd := gw.FetchHTTPNodeVia(nil, c, dark); ok || nd != nil {
+		t.Fatal("fully dark cluster served a request")
+	}
+	// The idealised (nil-predicate) view still serves from cache.
+	if ok, _ := gw.FetchHTTPNodeVia(nil, c, nil); !ok {
+		t.Fatal("nil predicate should treat backends as online")
+	}
+}

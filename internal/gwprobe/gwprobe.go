@@ -27,11 +27,17 @@ type Prober struct {
 	// nonce distinguishes this prober's unique content from everything
 	// else in the simulation.
 	nonce uint64
+	// online is the world's backend-liveness view, threaded into the
+	// gateway's HTTP load balancer: probing a fully dark cluster (e.g.
+	// under a counterfactual provider outage) fails like any other HTTP
+	// request would. nil treats every backend as online.
+	online func(ids.PeerID) bool
 }
 
-// New creates a prober using the given monitoring node.
-func New(mon *monitor.Monitor, nonce uint64) *Prober {
-	return &Prober{mon: mon, nonce: nonce}
+// New creates a prober using the given monitoring node. online supplies
+// backend liveness for the probed gateways (nil = all online).
+func New(mon *monitor.Monitor, nonce uint64, online func(ids.PeerID) bool) *Prober {
+	return &Prober{mon: mon, nonce: nonce, online: online}
 }
 
 // uniqueCID generates fresh content no one else provides.
@@ -51,7 +57,7 @@ func (p *Prober) ProbeOnce(gw *gateway.Gateway) (ids.PeerID, bool) {
 	c := p.uniqueCID()
 	p.mon.AddBlock(c)
 	logStart := p.mon.Log().Len()
-	if !gw.FetchHTTP(c) {
+	if ok, _ := gw.FetchHTTPNodeVia(nil, c, p.online); !ok {
 		return ids.PeerID{}, false
 	}
 	for _, e := range p.mon.Log().Events()[logStart:] {

@@ -36,7 +36,7 @@ func fixture(t *testing.T, gwNodes int) (*simtest.Net, *monitor.Monitor, *gatewa
 
 func TestProbeOnceDiscoversOverlayID(t *testing.T) {
 	_, mon, gw := fixture(t, 1)
-	p := New(mon, 42)
+	p := New(mon, 42, nil)
 	id, ok := p.ProbeOnce(gw)
 	if !ok {
 		t.Fatal("probe failed")
@@ -48,7 +48,7 @@ func TestProbeOnceDiscoversOverlayID(t *testing.T) {
 
 func TestIdentifyEnumeratesAllNodes(t *testing.T) {
 	_, mon, gw := fixture(t, 3)
-	p := New(mon, 42)
+	p := New(mon, 42, nil)
 	found := p.Identify(gw, 12) // round-robin: 12 probes cover 3 nodes
 	if len(found) != 3 {
 		t.Fatalf("identified %d overlay IDs, want 3", len(found))
@@ -66,7 +66,7 @@ func TestIdentifyEnumeratesAllNodes(t *testing.T) {
 
 func TestProbeUsesUniqueContent(t *testing.T) {
 	_, mon, gw := fixture(t, 1)
-	p := New(mon, 42)
+	p := New(mon, 42, nil)
 	logBefore := mon.Log().Len()
 	p.ProbeOnce(gw)
 	p.ProbeOnce(gw)
@@ -81,7 +81,7 @@ func TestProbeUsesUniqueContent(t *testing.T) {
 
 func TestGatewayCacheServesRepeats(t *testing.T) {
 	_, mon, gw := fixture(t, 1)
-	p := New(mon, 42)
+	p := New(mon, 42, nil)
 	c := p.uniqueCID()
 	mon.AddBlock(c)
 	if !gw.FetchHTTP(c) {
@@ -109,7 +109,7 @@ func TestCensus(t *testing.T) {
 	}
 	gw2 := gateway.New("other-gw.dev", []netip.Addr{netip.MustParseAddr("52.8.8.8")}, backing)
 
-	p := New(mon, 42)
+	p := New(mon, 42, nil)
 	census := p.Census([]*gateway.Gateway{gw1, gw2}, 8)
 	if len(census) != 2 {
 		t.Fatalf("census covers %d gateways", len(census))
@@ -131,7 +131,7 @@ func TestProbeFailsWithoutBitswapPath(t *testing.T) {
 	// Gateway node NOT connected to the monitor and content not in DHT:
 	// the unique content is unreachable, probe must fail gracefully.
 	gw := gateway.New("dark-gw.io", nil, []*node.Node{net.Nodes[5]})
-	p := New(mon, 42)
+	p := New(mon, 42, nil)
 	if _, ok := p.ProbeOnce(gw); ok {
 		t.Fatal("probe succeeded without any retrieval path")
 	}

@@ -18,6 +18,12 @@ func SplitMix64(state uint64) uint64 {
 // Feeding each label through SplitMix64 keeps distinct label tuples
 // statistically uncorrelated, so every (tick, shard) pair gets its own
 // reproducible RNG stream regardless of how many workers execute it.
+//
+// Callers must derive with a fixed label arity per stream family:
+// ACROSS arities the chained mix has known degeneracies (a label equal
+// to the master cancels the state to SplitMix64(0), aligning prefix and
+// extension tuples — see TestDeriveSeedCrossArityDegeneracy). Within one
+// arity, distinct tuples give independent streams.
 func DeriveSeed(master uint64, labels ...uint64) uint64 {
 	s := SplitMix64(master)
 	for _, l := range labels {

@@ -1,0 +1,84 @@
+package maddr
+
+import "testing"
+
+// TestParseCorpusRegressions promotes the checked-in fuzz corpus
+// (testdata/fuzz/FuzzParse) into a deterministic table: every corpus
+// entry is pinned to an explicit verdict and, for accepted inputs, its
+// canonical re-rendering. The fuzzer only asserts generic properties
+// (no panic, round-trip); this table freezes the exact semantics, so a
+// behaviour change on any historical input fails loudly even when the
+// fuzz replay would still pass.
+func TestParseCorpusRegressions(t *testing.T) {
+	cases := []struct {
+		name  string // corpus file the input came from
+		in    string
+		ok    bool
+		canon string // expected String() for accepted inputs
+	}{
+		{"seed_ip4_tcp", "/ip4/1.2.3.4/tcp/4001", true, "/ip4/1.2.3.4/tcp/4001"},
+		{"seed_quic", "/ip4/91.2.3.4/udp/4001/quic-v1", true, "/ip4/91.2.3.4/udp/4001/quic-v1"},
+		{"seed_ip6", "/ip6/2001:db8::1/tcp/4001", true, "/ip6/2001:db8::1/tcp/4001"},
+		{"seed_p2p", "/ip4/52.0.0.1/tcp/4001/p2p/12D3KooABC", true, "/ip4/52.0.0.1/tcp/4001/p2p/12D3KooABC"},
+		{"seed_circuit", "/ip4/52.0.0.1/tcp/4001/p2p/12D3KooRelay/p2p-circuit", true,
+			"/ip4/52.0.0.1/tcp/4001/p2p/12D3KooRelay/p2p-circuit"},
+		// The legacy /ipfs/ spelling normalizes to /p2p/ on re-render.
+		{"seed_legacy_ipfs", "/ip4/1.2.3.4/tcp/4001/ipfs/12D3KooLegacy", true,
+			"/ip4/1.2.3.4/tcp/4001/p2p/12D3KooLegacy"},
+		// A circuit address without a relay ID is accepted (the relay's
+		// /p2p component is optional in the grammar).
+		{"seed_quic_circuit", "/ip4/1.2.3.4/udp/4001/quic-v1/p2p-circuit", true,
+			"/ip4/1.2.3.4/udp/4001/quic-v1/p2p-circuit"},
+
+		{"seed_empty", "", false, ""},
+		{"seed_slash", "/", false, ""},
+		{"seed_no_leading_slash", "ip4/1.2.3.4/tcp/4001", false, ""},
+		{"seed_bad_ip", "/ip4/999.2.3.4/tcp/4001", false, ""},
+		{"seed_bad_port", "/ip4/1.2.3.4/tcp/70000", false, ""},
+		{"seed_bad_transport", "/ip4/1.2.3.4/sctp/4001", false, ""},
+		{"seed_dns_unsupported", "/dns4/example.com/tcp/4001", false, ""},
+		{"seed_ip_family_mismatch", "/ip6/1.2.3.4/tcp/4001", false, ""},
+		{"seed_p2p_empty", "/ip4/1.2.3.4/tcp/4001/p2p/", false, ""},
+		{"seed_trailing_junk", "/ip4/1.2.3.4/tcp/4001/bogus/x", false, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := Parse(tc.in)
+			if tc.ok != (err == nil) {
+				t.Fatalf("Parse(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			}
+			if !tc.ok {
+				return
+			}
+			if got := a.String(); got != tc.canon {
+				t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.canon)
+			}
+			if !a.IsValid() {
+				t.Errorf("Parse(%q) accepted an invalid address: %+v", tc.in, a)
+			}
+		})
+	}
+}
+
+// TestParseEdgeShapes pins edge cases adjacent to the corpus that the
+// table above implies but never states: family-specific rendering, the
+// zero port, and an IPv4 address spelled through the ip6 prefix.
+func TestParseEdgeShapes(t *testing.T) {
+	// Port 0 is grammatically fine (the simulator never dials it).
+	a := MustParse("/ip4/10.0.0.1/udp/0")
+	if a.Port != 0 || a.Transport != UDP {
+		t.Fatalf("udp/0 parsed to %+v", a)
+	}
+	// An IPv4 value under /ip4 must stay Is4 so String picks /ip4 back.
+	if a := MustParse("/ip4/1.2.3.4/tcp/1"); !a.IP.Is4() {
+		t.Fatal("ip4 address did not parse as 4-byte form")
+	}
+	// /ip4 with an IPv6 literal is a family mismatch, not a silent remap.
+	if _, err := Parse("/ip4/2001:db8::1/tcp/4001"); err == nil {
+		t.Fatal("ip4 with IPv6 literal must be rejected")
+	}
+	// quic-v1 requires the udp component underneath: on tcp it is junk.
+	if _, err := Parse("/ip4/1.2.3.4/tcp/4001/quic-v1"); err == nil {
+		t.Fatal("quic-v1 over tcp must be rejected")
+	}
+}

@@ -421,3 +421,9 @@ func (n *Node) ExpireProviders() { n.providers.Expire(n.net.Clock.Now()) }
 func (n *Node) ProviderRecordCount() int {
 	return n.providers.Len(n.net.Clock.Now())
 }
+
+// ProviderStats returns the provider store's conservation ledger (the
+// invariant suite checks Stored == Created − Pruned on every node).
+func (n *Node) ProviderStats() ProviderStats {
+	return n.providers.Stats()
+}

@@ -11,6 +11,24 @@ import (
 type ProviderStore struct {
 	ttl  netsim.Time
 	recs map[ids.CID]map[ids.PeerID]netsim.ProviderRecord
+	// Conservation bookkeeping: created counts distinct (CID, provider)
+	// records ever stored (refreshes excluded), pruned counts records
+	// removed by Expire. The stored population is always created − pruned
+	// — the invariant the property suite checks on every world.
+	created int64
+	pruned  int64
+}
+
+// ProviderStats is the store's conservation ledger.
+type ProviderStats struct {
+	// Created is the number of distinct (CID, provider) records ever
+	// stored; a re-advertisement refreshes in place and does not count.
+	Created int64
+	// Pruned is the number of records removed by Expire.
+	Pruned int64
+	// Stored is the current record population, expired-but-unpruned
+	// entries included.
+	Stored int64
 }
 
 // NewProviderStore creates a store with the given record TTL.
@@ -27,6 +45,9 @@ func (s *ProviderStore) Put(c ids.CID, rec netsim.ProviderRecord) {
 	if m == nil {
 		m = make(map[ids.PeerID]netsim.ProviderRecord)
 		s.recs[c] = m
+	}
+	if _, refresh := m[rec.Provider.ID]; !refresh {
+		s.created++
 	}
 	m[rec.Provider.ID] = rec
 }
@@ -62,6 +83,7 @@ func (s *ProviderStore) Expire(now netsim.Time) {
 		for pid, rec := range m {
 			if now-rec.Received >= s.ttl {
 				delete(m, pid)
+				s.pruned++
 			}
 		}
 		if len(m) == 0 {
@@ -86,3 +108,13 @@ func (s *ProviderStore) Len(now netsim.Time) int {
 // CIDs returns the number of distinct CIDs with at least one stored
 // (possibly expired) record.
 func (s *ProviderStore) CIDs() int { return len(s.recs) }
+
+// Stats returns the conservation ledger: Stored == Created − Pruned
+// always holds (the property suite asserts it across whole worlds).
+func (s *ProviderStore) Stats() ProviderStats {
+	st := ProviderStats{Created: s.created, Pruned: s.pruned}
+	for _, m := range s.recs {
+		st.Stored += int64(len(m))
+	}
+	return st
+}

@@ -16,6 +16,8 @@
 package scenario
 
 import (
+	"maps"
+
 	"tcsb/internal/ipdb"
 )
 
@@ -83,6 +85,10 @@ type Config struct {
 	// Hydra.
 	HydraHeads            int
 	HydraProactiveLookups bool
+	// PLHydraCount is the number of Protocol Labs production Hydra
+	// deployments besides the measurement vantage (the paper observed the
+	// fleet as a handful of AWS deployments; counterfactuals set 0).
+	PLHydraCount int
 
 	// Gateways: number of ordinary public gateways besides the big
 	// Cloudflare-style one and the ipfs-bank platform.
@@ -148,6 +154,7 @@ func DefaultConfig() Config {
 		MonitorCoverage:        0.8,
 		HydraHeads:             20,
 		HydraProactiveLookups:  true,
+		PLHydraCount:           6,
 		SmallGateways:          6,
 		CloudflareGatewayNodes: 10,
 	}
@@ -170,5 +177,15 @@ func (c Config) Scaled(f float64) Config {
 	c.RequestsPerTick = scale(c.RequestsPerTick)
 	c.SmallGateways = scale(c.SmallGateways)
 	c.CloudflareGatewayNodes = scale(c.CloudflareGatewayNodes)
+	return c
+}
+
+// Clone returns a deep copy of the config: the weight maps are copied, so
+// rewriting the clone (as counterfactual interventions do) never aliases
+// into the original. Everything else is value-copied.
+func (c Config) Clone() Config {
+	c.ProviderWeights = maps.Clone(c.ProviderWeights)
+	c.CloudCountryWeights = maps.Clone(c.CloudCountryWeights)
+	c.ResidentialCountryWeights = maps.Clone(c.ResidentialCountryWeights)
 	return c
 }

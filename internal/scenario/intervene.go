@@ -1,0 +1,67 @@
+package scenario
+
+// Counterfactual intervention hooks: surgical rewrites of a built world
+// that internal/counterfactual composes into named what-if scenarios.
+// Every hook is deterministic (no RNG draws) and leaves the world in a
+// state the tick engine evolves exactly as it would any other world, so
+// intervention campaigns inherit the byte-identical-across-Workers
+// guarantee unchanged.
+//
+// The measurement vantage points — the Bitswap monitor and the logging
+// Hydra head set — are never removed: they are the authors' instruments,
+// and a counterfactual without a telescope would have no datasets to
+// diff. Interventions may still silence the vantage Hydra's *active*
+// behaviour (proactive cache-filling lookups) via Config.
+
+// DissolvePLHydras shuts down the Protocol Labs production Hydra fleet:
+// every head of every PL deployment is detached from the network and the
+// resolver ring is rebuilt without them. Routing tables across the
+// population still carry the dead heads — exactly the ghost entries a
+// real dissolution would leave behind until bucket refreshes age them
+// out — so dials at them fail rather than vanish.
+func (w *World) DissolvePLHydras() {
+	for _, h := range w.PLHydras {
+		for _, head := range h.Heads() {
+			w.Net.Detach(head)
+		}
+	}
+	w.PLHydras = nil
+	w.rebuildRing()
+}
+
+// ProviderOutage takes every actor hosted by the given cloud provider
+// offline permanently: the region never comes back, churn cannot revive
+// the nodes (PinnedOffline), and platform clusters hosted there stop
+// serving. It returns the number of actors pinned (whether they were
+// online or already churned offline when the outage hit). Hydra heads
+// are not Actors; callers modelling an AWS outage compose this with
+// DissolvePLHydras.
+func (w *World) ProviderOutage(provider string) int {
+	pinned := 0
+	for _, id := range w.order {
+		a := w.Actors[id]
+		if a == nil || a.Provider != provider {
+			continue
+		}
+		a.PinnedOffline = true
+		pinned++
+		if a.Online {
+			a.Online = false
+			w.Net.SetOnline(a.ID, false)
+		}
+	}
+	return pinned
+}
+
+// PinnedOfflineCount reports how many actors an intervention has
+// permanently removed (0 in a baseline world) — used by the invariant
+// suite to assert interventions actually bit.
+func (w *World) PinnedOfflineCount() int {
+	n := 0
+	for _, a := range w.Actors {
+		if a.PinnedOffline {
+			n++
+		}
+	}
+	return n
+}

@@ -88,6 +88,9 @@ func (w *World) planChurn(rng *rand.Rand, view *shardView) []churnDecision {
 		if a == nil || a.Platform != "" {
 			continue // platform and gateway nodes are professionally run
 		}
+		if a.PinnedOffline {
+			continue // intervention casualties never come back
+		}
 		offP, onP := w.Cfg.CloudOfflineProb, w.Cfg.CloudOnlineProb
 		if !a.Cloud {
 			offP, onP = w.Cfg.NonCloudOfflineProb, w.Cfg.NonCloudOnlineProb
@@ -399,7 +402,7 @@ func (w *World) runRequests(plans [][]requestPlan) {
 func (w *World) execRequest(env *netsim.Effects, p requestPlan) {
 	if p.gateway >= 0 {
 		gw := w.Gateways[p.gateway]
-		ok, nd := gw.FetchHTTPNodeVia(env, p.cid)
+		ok, nd := gw.FetchHTTPNodeVia(env, p.cid, w.Net.Online)
 		if ok && nd != nil && p.coin < 0.7 {
 			nd.ProvideDirectVia(env, p.cid, w.resolversFor(p.cid))
 		}

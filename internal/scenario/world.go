@@ -40,6 +40,9 @@ type Actor struct {
 	IP       netip.Addr
 	Relay    ids.PeerID // circuit relay for NAT actors
 	Online   bool
+	// PinnedOffline marks an actor taken down by a counterfactual
+	// intervention (e.g. a provider outage): churn never brings it back.
+	PinnedOffline bool
 	// Owned is the content this actor originally published.
 	Owned []ids.CID
 	// activity weights how often the actor issues requests.
@@ -375,7 +378,7 @@ func (w *World) buildHydra() {
 		ProactiveLookups: w.Cfg.HydraProactiveLookups,
 	})
 	attach(w.Hydra)
-	for i := 0; i < 6; i++ {
+	for i := 0; i < w.Cfg.PLHydraCount; i++ {
 		h := hydra.New(w.Net, uint64(w.Cfg.Seed)<<40+0x77e0+uint64(i)*0x1000, hydra.Config{
 			Heads:            w.Cfg.HydraHeads,
 			ProactiveLookups: true,
