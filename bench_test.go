@@ -63,7 +63,7 @@ func BenchmarkCampaign(b *testing.B) {
 				rc := core.DefaultRunConfig()
 				rc.Workers = workers
 				o := core.Observe(cfg, rc)
-				if o.HydraLog.Len() == 0 {
+				if o.HydraStats().Len() == 0 {
 					b.Fatal("empty campaign")
 				}
 			}
@@ -157,8 +157,8 @@ func BenchmarkDerivations(b *testing.B) {
 	b.Run("hydra-activity", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = o.HydraLog.ActivityByPeer()
-			_ = o.HydraLog.ActivityByIP()
+			_ = o.HydraStats().ActivityByPeer()
+			_ = o.HydraStats().ActivityByIP()
 		}
 	})
 }

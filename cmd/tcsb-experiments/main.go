@@ -6,8 +6,9 @@
 // Usage:
 //
 //	tcsb-experiments -list
-//	tcsb-experiments [-seed N] [-scale F] [-days N] [-only fig3,fig13]
-//	                 [-workers N] [-parallel N] [-json]
+//	tcsb-experiments [-seed N] [-scale F | -preset scale.4x] [-days N]
+//	                 [-only fig3,fig13] [-workers N] [-parallel N]
+//	                 [-json] [-retain-trace]
 //	tcsb-experiments -what-if hydra-dissolution[,aws-outage,...]
 //	                 [-only whatif.fig8] [-json] [...]
 //
@@ -17,6 +18,13 @@
 // observatory. -what-if runs a paired campaign instead — a baseline world
 // and a world rewritten by the named interventions, sharing the -workers
 // pool — and renders the whatif.* delta experiments over the pair.
+// -preset applies a named scale.* scenario (population/traffic
+// multiplier via the Config.Scaled cloning hook); it composes with
+// -scale multiplicatively. The observation path streams: vantage-point
+// events fold into bounded per-shard statistics as they happen, which is
+// what makes scale.4x and beyond routine; -retain-trace additionally
+// keeps the raw event logs (gigabytes at default scale — only for
+// external tooling that needs events).
 // Output on stdout is a deterministic function of the flags and seed:
 // for the same selection it is byte-identical for every -workers and
 // -parallel value (timings and progress go to stderr).
@@ -40,6 +48,8 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 1.0, "population scale factor (1.0 ≈ 1/12 of the real network)")
+	preset := flag.String("preset", "", "named scale.* scenario preset (e.g. scale.4x); composes with -scale")
+	retain := flag.Bool("retain-trace", false, "retain raw vantage-point event logs alongside the streaming statistics (costs gigabytes at default scale)")
 	days := flag.Int("days", 10, "observation days")
 	only := flag.String("only", "", "comma-separated experiment filter (e.g. table1,fig3,fig13)")
 	whatIf := flag.String("what-if", "", "comma-separated counterfactual interventions (e.g. hydra-dissolution,churn-2x); runs a paired baseline/intervention campaign and the whatif.* delta experiments")
@@ -53,6 +63,8 @@ func main() {
 		fmt.Println(experiments.ListTable())
 		fmt.Println()
 		fmt.Println(interventionList())
+		fmt.Println()
+		fmt.Println(presetList())
 		return
 	}
 
@@ -78,10 +90,19 @@ func main() {
 	}
 
 	cfg := scenario.DefaultConfig().Scaled(*scale)
+	if *preset != "" {
+		p, ok := scenario.LookupScale(*preset)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tcsb-experiments: unknown preset %q; -list shows the scale.* family\n", *preset)
+			os.Exit(2)
+		}
+		cfg = p.Apply(cfg)
+	}
 	cfg.Seed = *seed
 	rc := core.DefaultRunConfig()
 	rc.Days = *days
 	rc.Workers = *workers
+	rc.RetainTrace = *retain
 
 	var results []experiments.Result
 	var err error
@@ -141,6 +162,18 @@ func interventionList() *report.Table {
 	}
 	for _, iv := range counterfactual.All() {
 		t.AddRow(iv.Name, iv.Description)
+	}
+	return t
+}
+
+// presetList renders the scale.* scenario family for -list.
+func presetList() *report.Table {
+	t := &report.Table{
+		Title:   "Scale presets (-preset; streaming observation keeps them memory-feasible)",
+		Columns: []string{"name", "description"},
+	}
+	for _, p := range scenario.ScalePresets() {
+		t.AddRow(p.Name, p.Description)
 	}
 	return t
 }

@@ -71,12 +71,12 @@ func main() {
 	}
 	fmt.Println(tr)
 
-	mix := w.Hydra.Log().Mix()
+	mix := w.Hydra.Stats().Mix()
 	mx := &report.Table{Title: "Hydra vantage mix", Columns: []string{"class", "share"}}
 	for _, cl := range []trace.Class{trace.Download, trace.Advertise, trace.Other} {
 		mx.AddRow(cl.String(), report.Pct(mix[cl]))
 	}
 	fmt.Println(mx)
 	fmt.Printf("monitor logged %d Bitswap broadcasts from %d peers\n",
-		w.Monitor.Log().Len(), w.Monitor.Requesters())
+		w.Monitor.Stats().Len(), w.Monitor.Requesters())
 }

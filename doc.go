@@ -19,6 +19,17 @@
 // record collection and the analysis stages fan out over a bounded
 // worker pool — byte-identical output for every -workers value.
 //
+// Observation streams: the monitoring vantage points (Bitswap monitor,
+// Hydra logger) fold every event into bounded per-vantage statistics
+// (internal/trace Sink/Accum/Pipeline, fed through the same effect
+// lanes) instead of materializing the raw trace, which keeps memory
+// bounded by distinct identifiers rather than traffic volume and makes
+// the scale.* scenario family (-preset scale.2x/4x/10x, Config.Scaled
+// cloning hooks) routine. Raw event logs are available behind the
+// explicit -retain-trace / RunConfig.RetainTrace opt-in; streaming and
+// batch results are pinned equal by the sink-vs-log equivalence
+// property in internal/simtest/invariants.
+//
 // A counterfactual layer (internal/counterfactual) turns the calibrated
 // replay into an instrument: named interventions — hydra-dissolution,
 // aws-outage, gateway-surge, no-cloud-providers, churn-2x, composable

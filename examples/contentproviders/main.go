@@ -11,7 +11,6 @@ import (
 
 	"tcsb/internal/analysis"
 	"tcsb/internal/ids"
-	"tcsb/internal/monitor"
 	"tcsb/internal/netsim"
 	"tcsb/internal/provrecords"
 	"tcsb/internal/report"
@@ -31,7 +30,7 @@ func main() {
 	fmt.Println("simulating 3 days; collecting each day's sampled CIDs...")
 	for day := 0; day < 3; day++ {
 		w.RunDays(1, nil)
-		sample := monitor.DailySample(w.Monitor.Log(), int64(day), 150, rng)
+		sample := w.Monitor.SampleDay(int64(day), 150, rng)
 		collector.CollectDay(&col, sample, int64(day))
 		fmt.Printf("day %d: sampled %d CIDs\n", day, len(sample))
 	}

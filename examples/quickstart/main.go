@@ -84,10 +84,3 @@ func normalize(m map[string]float64) map[string]float64 {
 	}
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -2,6 +2,10 @@
 // Bitswap monitor and the Hydra booster — on a busy simulated network,
 // then measure traffic centralization (Figs. 10-12) and the protocol mix
 // (Section 5).
+//
+// The vantage points stream: every analysis below reads the bounded
+// trace.Accum the pipelines fold events into, so no raw event log is
+// ever materialized (set scenario.Config.RetainTrace to keep one).
 package main
 
 import (
@@ -21,13 +25,13 @@ func main() {
 	fmt.Println("simulating 3 days of traffic...")
 	w.RunDays(3, nil)
 
-	hydraLog := w.Hydra.Log()
-	bitswapLog := w.Monitor.Log()
+	hydra := w.Hydra.Stats()
+	bitswap := w.Monitor.Stats()
 	fmt.Printf("hydra vantage: %d DHT messages; monitor: %d Bitswap broadcasts\n\n",
-		hydraLog.Len(), bitswapLog.Len())
+		hydra.Len(), bitswap.Len())
 
 	// Section 5: protocol mix.
-	mix := hydraLog.Mix()
+	mix := hydra.Mix()
 	mt := &report.Table{Title: "DHT traffic mix (paper: 57/40/3)", Columns: []string{"class", "share"}}
 	for _, cl := range []trace.Class{trace.Download, trace.Advertise, trace.Other} {
 		mt.AddRow(cl.String(), report.Pct(mix[cl]))
@@ -38,10 +42,10 @@ func main() {
 	cloudAttr := w.CloudAttr()
 	group := func(ip netip.Addr) string { return cloudAttr(ip) }
 	for _, v := range []struct {
-		name string
-		log  *trace.Log
-	}{{"DHT (hydra)", hydraLog}, {"Bitswap (monitor)", bitswapLog}} {
-		act := v.log.ActivityByIP()
+		name  string
+		stats *trace.Accum
+	}{{"DHT (hydra)", hydra}, {"Bitswap (monitor)", bitswap}} {
+		act := v.stats.ActivityByIP()
 		t := &report.Table{
 			Title:   fmt.Sprintf("%s — IP centralization (paper Fig. 11)", v.name),
 			Columns: []string{"metric", "value"},
@@ -56,12 +60,12 @@ func main() {
 		fmt.Println(t)
 	}
 
-	// Fig. 13: platform attribution via hydra head set + reverse DNS.
-	attr := func(e trace.Event) string { return w.PlatformOf(e) }
+	// Fig. 13: platform attribution — hydra heads by identity (the
+	// pipelines tag them at ingest), everything else by reverse DNS.
 	fmt.Println(report.SharesTable(
 		"Platforms, DHT download traffic (paper Fig. 13)", "platform",
-		hydraLog.Filter(func(e trace.Event) bool { return e.Class() == trace.Download }).GroupShare(attr)))
+		hydra.ClassTaggedGroupShareByIP(trace.Download, scenario.PlatformLabelHydra, w.PlatformOfIP)))
 	fmt.Println(report.SharesTable(
 		"Platforms, DHT advertise traffic (paper Fig. 13)", "platform",
-		hydraLog.Filter(func(e trace.Event) bool { return e.Class() == trace.Advertise }).GroupShare(attr)))
+		hydra.ClassTaggedGroupShareByIP(trace.Advertise, scenario.PlatformLabelHydra, w.PlatformOfIP)))
 }

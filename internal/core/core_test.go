@@ -422,8 +422,8 @@ func TestObservatoryDeterminism(t *testing.T) {
 		GatewayProbeRounds: 4, DNSLinkDomains: 50, ENSNames: 40}
 	a := core.Observe(cfg, rc)
 	b := core.Observe(cfg, rc)
-	if a.HydraLog.Len() != b.HydraLog.Len() {
-		t.Fatalf("hydra logs differ: %d vs %d", a.HydraLog.Len(), b.HydraLog.Len())
+	if a.HydraStats().Len() != b.HydraStats().Len() {
+		t.Fatalf("hydra streams differ: %d vs %d", a.HydraStats().Len(), b.HydraStats().Len())
 	}
 	if a.Records.CIDs() != b.Records.CIDs() {
 		t.Fatalf("record collections differ: %d vs %d", a.Records.CIDs(), b.Records.CIDs())

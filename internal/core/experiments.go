@@ -13,6 +13,7 @@ import (
 	"tcsb/internal/ids"
 	"tcsb/internal/ipdb"
 	"tcsb/internal/report"
+	"tcsb/internal/scenario"
 	"tcsb/internal/stats"
 	"tcsb/internal/trace"
 )
@@ -306,13 +307,15 @@ type Fig9Result struct {
 	PeerDays map[int]int
 }
 
-// Fig9Frequency computes request-frequency histograms per identifier.
+// Fig9Frequency computes request-frequency histograms per identifier,
+// folded from the streaming statistics (identical to the batch
+// DaysSeenHistogram over the raw log).
 func (o *Observatory) Fig9Frequency() Fig9Result {
-	log := o.HydraLog
+	st := o.HydraStats()
 	return Fig9Result{
-		CIDDays:  trace.DaysSeenHistogram(log, trace.CIDKey),
-		IPDays:   trace.DaysSeenHistogram(log, trace.IPKey),
-		PeerDays: trace.DaysSeenHistogram(log, trace.PeerKey),
+		CIDDays:  st.DaysSeenByCID(),
+		IPDays:   st.DaysSeenByIP(),
+		PeerDays: st.DaysSeenByPeer(),
 	}
 }
 
@@ -398,23 +401,23 @@ type Fig12Result struct {
 	CloudByTraffic float64
 }
 
-// Fig12CloudPerTrafficType analyses the Hydra log per traffic class.
+// Fig12CloudPerTrafficType analyses the Hydra vantage per traffic
+// class, from the per-class streaming statistics.
 func (o *Observatory) Fig12CloudPerTrafficType() Fig12Result {
 	provAttr := o.World.ProviderAttr()
 	cloudAttr := o.World.CloudAttr()
-	log := o.HydraLog
+	st := o.HydraStats()
 
 	res := Fig12Result{
 		UniqueIPShares: make(map[trace.Class]map[string]float64),
 		TrafficShares:  make(map[trace.Class]map[string]float64),
 	}
 	for _, cl := range []trace.Class{trace.Download, trace.Advertise} {
-		sub := log.Filter(func(e trace.Event) bool { return e.Class() == cl })
-		res.UniqueIPShares[cl] = sub.UniqueIPShare(provAttr)
-		res.TrafficShares[cl] = sub.GroupShare(func(e trace.Event) string { return provAttr(e.IP) })
+		res.UniqueIPShares[cl] = st.ClassUniqueIPShare(cl, provAttr)
+		res.TrafficShares[cl] = st.ClassGroupShareByIP(cl, provAttr)
 	}
-	res.CloudByCount = log.UniqueIPShare(cloudAttr)["cloud"]
-	res.CloudByTraffic = log.GroupShare(func(e trace.Event) string { return cloudAttr(e.IP) })["cloud"]
+	res.CloudByCount = st.UniqueIPShare(cloudAttr)["cloud"]
+	res.CloudByTraffic = st.GroupShareByIP(cloudAttr)["cloud"]
 	return res
 }
 
@@ -428,17 +431,19 @@ type Fig13Result struct {
 	Bitswap      map[string]float64
 }
 
-// Fig13Platforms attributes traffic to platforms (Hydra set + rDNS).
+// Fig13Platforms attributes traffic to platforms: Hydra-head senders by
+// overlay identity (the pipelines' tagged traffic), everything else by
+// rDNS over the source IP — the streaming equivalent of
+// GroupShare(PlatformOf) over the raw logs.
 func (o *Observatory) Fig13Platforms() Fig13Result {
-	attr := func(e trace.Event) string { return o.World.PlatformOf(e) }
-	hlog := o.HydraLog
-	dl := hlog.Filter(func(e trace.Event) bool { return e.Class() == trace.Download })
-	ad := hlog.Filter(func(e trace.Event) bool { return e.Class() == trace.Advertise })
+	attr := o.World.PlatformOfIP
+	hydraTag := scenario.PlatformLabelHydra
+	hs := o.HydraStats()
 	return Fig13Result{
-		DHTAll:       hlog.GroupShare(attr),
-		DHTDownload:  dl.GroupShare(attr),
-		DHTAdvertise: ad.GroupShare(attr),
-		Bitswap:      o.World.Monitor.Log().GroupShare(attr),
+		DHTAll:       hs.TaggedGroupShareByIP(hydraTag, attr),
+		DHTDownload:  hs.ClassTaggedGroupShareByIP(trace.Download, hydraTag, attr),
+		DHTAdvertise: hs.ClassTaggedGroupShareByIP(trace.Advertise, hydraTag, attr),
+		Bitswap:      o.MonitorStats().TaggedGroupShareByIP(hydraTag, attr),
 	}
 }
 
@@ -599,9 +604,9 @@ func (o *Observatory) Fig20ENS() Fig20Result {
 
 // --- Section 5 mix ---
 
-// Section5Mix returns the DHT traffic class mix from the Hydra log.
+// Section5Mix returns the DHT traffic class mix at the Hydra vantage.
 func (o *Observatory) Section5Mix() map[trace.Class]float64 {
-	return o.HydraLog.Mix()
+	return o.HydraStats().Mix()
 }
 
 // --- rendering helpers used by cmd/tcsb-experiments ---

@@ -77,37 +77,37 @@ func (o *Observatory) ProviderProfiles() []analysis.ProviderProfile {
 }
 
 // HydraActivityByPeer returns the per-peer message counts of the Hydra
-// log, aggregated once.
+// vantage, materialized from the streaming statistics once.
 func (o *Observatory) HydraActivityByPeer() map[ids.PeerID]int64 {
 	o.memo.hydraByPeerOnce.Do(func() {
-		o.memo.hydraByPeer = o.HydraLog.ActivityByPeer()
+		o.memo.hydraByPeer = o.HydraStats().ActivityByPeer()
 	})
 	return o.memo.hydraByPeer
 }
 
-// HydraActivityByIP returns the per-IP message counts of the Hydra log,
-// aggregated once.
+// HydraActivityByIP returns the per-IP message counts of the Hydra
+// vantage, materialized once.
 func (o *Observatory) HydraActivityByIP() map[netip.Addr]int64 {
 	o.memo.hydraByIPOnce.Do(func() {
-		o.memo.hydraByIP = o.HydraLog.ActivityByIP()
+		o.memo.hydraByIP = o.HydraStats().ActivityByIP()
 	})
 	return o.memo.hydraByIP
 }
 
 // MonitorActivityByPeer returns the per-peer message counts of the
-// Bitswap monitor log, aggregated once.
+// Bitswap monitor, materialized once.
 func (o *Observatory) MonitorActivityByPeer() map[ids.PeerID]int64 {
 	o.memo.monitorByPeerOnce.Do(func() {
-		o.memo.monitorByPeer = o.World.Monitor.Log().ActivityByPeer()
+		o.memo.monitorByPeer = o.MonitorStats().ActivityByPeer()
 	})
 	return o.memo.monitorByPeer
 }
 
 // MonitorActivityByIP returns the per-IP message counts of the Bitswap
-// monitor log, aggregated once.
+// monitor, materialized once.
 func (o *Observatory) MonitorActivityByIP() map[netip.Addr]int64 {
 	o.memo.monitorByIPOnce.Do(func() {
-		o.memo.monitorByIP = o.World.Monitor.Log().ActivityByIP()
+		o.memo.monitorByIP = o.MonitorStats().ActivityByIP()
 	})
 	return o.memo.monitorByIP
 }

@@ -15,7 +15,6 @@ import (
 	"tcsb/internal/ens"
 	"tcsb/internal/gwprobe"
 	"tcsb/internal/ids"
-	"tcsb/internal/monitor"
 	"tcsb/internal/netsim"
 	"tcsb/internal/provrecords"
 	"tcsb/internal/scenario"
@@ -43,6 +42,17 @@ type RunConfig struct {
 	// the observatory produces is byte-identical for every Workers
 	// value (0 or 1 = fully serial).
 	Workers int
+	// RetainTrace keeps the raw event logs of the monitoring vantage
+	// points alongside the streaming statistics, exposing them as
+	// Observatory.HydraLog and World.Monitor.Log(). Off by default —
+	// every analysis of the paper folds into bounded trace.Accum state
+	// as events happen, and retaining the full trace of a default-scale
+	// campaign costs ~10 GB of allocations. Enable it only for
+	// consumers that need raw events (event-level diffing, external
+	// tooling, the sink-vs-log equivalence suite). Observe threads the
+	// flag into world construction; ObserveWorld on a pre-built world
+	// can only retain events observed after it starts.
+	RetainTrace bool
 }
 
 // DefaultRunConfig returns the laptop-scale campaign.
@@ -77,9 +87,12 @@ type Observatory struct {
 	ENSRecords []ens.Record
 	// ENSProviders holds provider records resolved for ENS CIDs.
 	ENSProviders provrecords.Collection
-	// HydraLog is the vantage Hydra's request log with the observatory's
-	// own measurement traffic (crawler, record collector) filtered out,
-	// as the authors exclude their own tools from the analysis.
+	// HydraLog is the vantage Hydra's raw request log with the
+	// observatory's own measurement traffic (crawler, record collector)
+	// filtered out, as the authors exclude their own tools from the
+	// analysis. It is only populated under RunConfig.RetainTrace; the
+	// analyses themselves read the streaming statistics (HydraStats),
+	// which apply the same exclusion at ingest.
 	HydraLog *trace.Log
 
 	// memo caches derived datasets shared by several experiments; see
@@ -89,6 +102,9 @@ type Observatory struct {
 
 // Observe builds a world and runs the full observation campaign on it.
 func Observe(cfg scenario.Config, rc RunConfig) *Observatory {
+	if rc.RetainTrace {
+		cfg.RetainTrace = true
+	}
 	w := scenario.NewWorld(cfg)
 	return ObserveWorld(w, rc)
 }
@@ -108,6 +124,12 @@ func ObserveWorld(w *scenario.World, rc RunConfig) *Observatory {
 	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0x0b5e7))
 	if rc.Workers > 0 {
 		w.Workers = rc.Workers
+	}
+	if rc.RetainTrace {
+		// Best effort on a pre-built world: retention starts now (Observe
+		// sets scenario.Config.RetainTrace before construction instead).
+		w.Hydra.Pipeline().EnableRetention()
+		w.Monitor.Pipeline().EnableRetention()
 	}
 
 	w.PopulateDNSLink(rc.DNSLinkDomains)
@@ -129,8 +151,10 @@ func ObserveWorld(w *scenario.World, rc RunConfig) *Observatory {
 			}
 		}
 		// Daily sampled Bitswap CIDs → provider record collection, same
-		// day, as in the paper. Walks are independent; fan out per CID.
-		sample := monitor.DailySample(w.Monitor.Log(), int64(day), rc.DailyCIDSample, rng)
+		// day, as in the paper: drawn from the monitor's streaming
+		// statistics (identical to sampling the raw log). Walks are
+		// independent; fan out per CID.
+		sample := w.Monitor.SampleDay(int64(day), rc.DailyCIDSample, rng)
 		collector.CollectDayParallel(&o.Records, sample, int64(day), w.Workers)
 	}
 
@@ -175,17 +199,20 @@ func ObserveWorld(w *scenario.World, rc RunConfig) *Observatory {
 		dnsStage()
 	}
 
-	crawlerID := w.CrawlerID()
-	collectorID := w.CollectorID()
-	o.HydraLog = w.Hydra.Log().Filter(func(e trace.Event) bool {
-		return e.Peer != crawlerID && e.Peer != collectorID
-	})
+	if raw := w.Hydra.Log(); raw != nil {
+		crawlerID := w.CrawlerID()
+		collectorID := w.CollectorID()
+		o.HydraLog = raw.Filter(func(e trace.Event) bool {
+			return e.Peer != crawlerID && e.Peer != collectorID
+		})
+	}
 	return o
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
+// HydraStats returns the vantage Hydra's streaming request statistics —
+// the analysis view every Hydra-log experiment derives from, with the
+// observatory's own measurement identities excluded at ingest.
+func (o *Observatory) HydraStats() *trace.Accum { return o.World.Hydra.Stats() }
+
+// MonitorStats returns the Bitswap monitor's streaming statistics.
+func (o *Observatory) MonitorStats() *trace.Accum { return o.World.Monitor.Stats() }

@@ -19,6 +19,9 @@ import (
 // (cfg is deep-copied first; the baseline never sees the edits); mutate
 // rewrites the built world before the campaign starts. Both may be nil.
 func ObservePaired(cfg scenario.Config, rewrite func(*scenario.Config), mutate func(*scenario.World), rc RunConfig) (baseline, whatif *Observatory) {
+	if rc.RetainTrace {
+		cfg.RetainTrace = true
+	}
 	whatifCfg := cfg.Clone()
 	if rewrite != nil {
 		rewrite(&whatifCfg)

@@ -139,10 +139,13 @@ func (s *Snapshot) Crawlable() int {
 func (s *Snapshot) Get(p ids.PeerID) *Observation { return s.Peers[p] }
 
 // sweepResult is what one parallel sweep learned about one peer before
-// the deterministic merge.
+// the deterministic merge. Contacts carry IDs only: the merge resolves
+// addresses through the registry (netsim.Info), whose snapshots are
+// stable for the duration of a crawl — identical to what the queried
+// peer would have answered, without materializing a PeerInfo per
+// response entry.
 type sweepResult struct {
 	contacts []ids.PeerID
-	learned  []netsim.PeerInfo
 	rpcs     int
 	err      error
 }
@@ -207,8 +210,8 @@ func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 			}
 			o.Crawlable = true
 			o.Contacts = r.contacts
-			for _, pi := range r.learned {
-				enqueue(pi)
+			for _, id := range r.contacts {
+				enqueue(net.Info(id))
 			}
 		}
 	}
@@ -227,7 +230,8 @@ func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 // (plus lane-deferred handler effects), collecting learned PeerInfos for
 // the caller to merge.
 func sweep(net *netsim.Network, env *netsim.Effects, cfg Config, p ids.PeerID) sweepResult {
-	seen := make(map[ids.PeerID]bool)
+	sc := sweepScratchFor(env)
+	clear(sc.seen)
 	var res sweepResult
 	emptyRun := 0
 	for cpl := 0; cpl < cfg.MaxCPL && emptyRun < cfg.EmptySweeps; cpl++ {
@@ -235,18 +239,18 @@ func sweep(net *netsim.Network, env *netsim.Effects, cfg Config, p ids.PeerID) s
 		// bucket cpl of p's table.
 		target := p.Key().FlipBit(cpl)
 		res.rpcs++
-		peers, err := net.FindNodeVia(env, cfg.CrawlerID, p, target)
+		peers, err := net.FindNodeVia(env, sc.closer[:0], cfg.CrawlerID, p, target)
+		sc.closer = peers[:0]
 		if err != nil {
 			return sweepResult{rpcs: res.rpcs, err: fmt.Errorf("dial %s: %w", p.Short(), err)}
 		}
 		newPeers := 0
 		for _, pi := range peers {
-			res.learned = append(res.learned, pi)
-			if pi.ID == p || seen[pi.ID] {
+			if pi == p || sc.seen[pi] {
 				continue
 			}
-			seen[pi.ID] = true
-			res.contacts = append(res.contacts, pi.ID)
+			sc.seen[pi] = true
+			res.contacts = append(res.contacts, pi)
 			newPeers++
 		}
 		if newPeers == 0 {
@@ -258,14 +262,50 @@ func sweep(net *netsim.Network, env *netsim.Effects, cfg Config, p ids.PeerID) s
 	return res
 }
 
+// sweepScratch is the per-lane reusable sweep state: the FindNode
+// response buffer and the per-peer dedup set, cleared per sweep.
+type sweepScratch struct {
+	seen   map[ids.PeerID]bool
+	closer []ids.PeerID
+}
+
+func sweepScratchFor(env *netsim.Effects) *sweepScratch {
+	if env == nil {
+		return &sweepScratch{seen: make(map[ids.PeerID]bool)}
+	}
+	if sc, ok := env.Scratch.(*sweepScratch); ok {
+		return sc
+	}
+	sc := &sweepScratch{seen: make(map[ids.PeerID]bool)}
+	env.Scratch = sc
+	return sc
+}
+
+// mergeAddrs unions src into dst. Addresses are comparable values, and
+// in the overwhelmingly common case (a peer re-discovered with unchanged
+// addresses — the registry snapshots are stable during a crawl) the two
+// lists are identical, which the prefix scan detects without building
+// the set at all.
 func mergeAddrs(dst, src []maddr.Addr) []maddr.Addr {
-	have := make(map[string]bool, len(dst))
+	if len(dst) == len(src) {
+		same := true
+		for i := range dst {
+			if dst[i] != src[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return dst
+		}
+	}
+	have := make(map[maddr.Addr]bool, len(dst))
 	for _, a := range dst {
-		have[a.String()] = true
+		have[a] = true
 	}
 	for _, a := range src {
-		if s := a.String(); !have[s] {
-			have[s] = true
+		if !have[a] {
+			have[a] = true
 			dst = append(dst, a)
 		}
 	}

@@ -43,6 +43,10 @@ type WalkStats struct {
 type Walker struct {
 	net  *netsim.Network
 	self ids.PeerID
+	// sc is the serial-mode walk scratch (lazily created). Concurrent
+	// walks run on Effects lanes and keep their scratch on the lane
+	// instead — one goroutine per lane, one scratch per goroutine.
+	sc *walkScratch
 }
 
 // NewWalker creates a walker acting as `self` on the given network.
@@ -50,79 +54,128 @@ func NewWalker(net *netsim.Network, self ids.PeerID) *Walker {
 	return &Walker{net: net, self: self}
 }
 
-// candidateSet tracks walk state: all peers heard of, ordered by distance
-// to the target, with queried/failed marks.
-type candidateSet struct {
-	target  ids.Key
-	known   map[ids.PeerID]netsim.PeerInfo
-	queried map[ids.PeerID]bool
-	failed  map[ids.PeerID]bool
-	sorted  []ids.PeerID // kept sorted by distance to target
+// walkScratch is the reusable state of one walk: candidate bookkeeping,
+// RPC response buffers, and the provider collection. A walk resets it on
+// entry and copies its results out on exit, so a single scratch serves
+// every walk that runs on its lane (or, serially, on its walker) — the
+// steady-state walk allocates nothing but its final result.
+type walkScratch struct {
+	// flags[idx[p]] holds the queried/failed bits of candidate p.
+	idx    map[ids.PeerID]int32
+	flags  []uint8
+	sorted []ids.PeerID // candidates in increasing distance order
+	batch  []ids.PeerID
+
+	closer []ids.PeerID            // FindNode / GetProviders response buffer
+	recs   []netsim.ProviderRecord // GetProviders record response buffer
+
+	provSeen map[ids.PeerID]bool
+	provs    []netsim.ProviderRecord
 }
 
-func newCandidateSet(target ids.Key) *candidateSet {
-	return &candidateSet{
-		target:  target,
-		known:   make(map[ids.PeerID]netsim.PeerInfo),
-		queried: make(map[ids.PeerID]bool),
-		failed:  make(map[ids.PeerID]bool),
+const (
+	flagQueried = 1 << iota
+	flagFailed
+)
+
+func newWalkScratch() *walkScratch {
+	return &walkScratch{
+		idx:      make(map[ids.PeerID]int32),
+		provSeen: make(map[ids.PeerID]bool),
 	}
 }
 
-func (cs *candidateSet) add(info netsim.PeerInfo) {
-	if info.ID.IsZero() {
+// scratch returns the walk scratch for the lane the walk runs on: the
+// lane's (created on first use, reused across every walk and phase of
+// that lane) or the walker's own in serial mode.
+func (w *Walker) scratch(env *netsim.Effects) *walkScratch {
+	if env != nil {
+		if sc, ok := env.Scratch.(*walkScratch); ok {
+			return sc
+		}
+		sc := newWalkScratch()
+		env.Scratch = sc
+		return sc
+	}
+	if w.sc == nil {
+		w.sc = newWalkScratch()
+	}
+	return w.sc
+}
+
+// reset clears the per-walk state, keeping capacity.
+func (sc *walkScratch) reset() {
+	clear(sc.idx)
+	sc.flags = sc.flags[:0]
+	sc.sorted = sc.sorted[:0]
+	clear(sc.provSeen)
+	sc.provs = sc.provs[:0]
+}
+
+// add registers a candidate, maintaining distance order to target.
+func (sc *walkScratch) add(target ids.Key, p ids.PeerID) {
+	if p.IsZero() {
 		return
 	}
-	if _, ok := cs.known[info.ID]; ok {
+	if _, ok := sc.idx[p]; ok {
 		return
 	}
-	cs.known[info.ID] = info
-	// Insert maintaining distance order.
-	d := info.ID.Key().Xor(cs.target)
-	i := sort.Search(len(cs.sorted), func(i int) bool {
-		return cs.sorted[i].Key().Xor(cs.target).Cmp(d) > 0
+	sc.idx[p] = int32(len(sc.flags))
+	sc.flags = append(sc.flags, 0)
+	d := p.Key().Xor(target)
+	i := sort.Search(len(sc.sorted), func(i int) bool {
+		return sc.sorted[i].Key().Xor(target).Cmp(d) > 0
 	})
-	cs.sorted = append(cs.sorted, ids.PeerID{})
-	copy(cs.sorted[i+1:], cs.sorted[i:])
-	cs.sorted[i] = info.ID
+	sc.sorted = append(sc.sorted, ids.PeerID{})
+	copy(sc.sorted[i+1:], sc.sorted[i:])
+	sc.sorted[i] = p
 }
 
-// nextBatch returns up to alpha unqueried peers among the closest
-// `horizon` candidates. An empty result means the walk has converged.
-func (cs *candidateSet) nextBatch(alpha, horizon int) []ids.PeerID {
-	var out []ids.PeerID
+func (sc *walkScratch) mark(p ids.PeerID, flag uint8) { sc.flags[sc.idx[p]] |= flag }
+
+func (sc *walkScratch) has(p ids.PeerID, flag uint8) bool {
+	return sc.flags[sc.idx[p]]&flag != 0
+}
+
+// nextBatch refills sc.batch with up to alpha unqueried peers among the
+// closest `horizon` candidates. An empty batch means convergence.
+func (sc *walkScratch) nextBatch(alpha, horizon int) []ids.PeerID {
+	sc.batch = sc.batch[:0]
 	seen := 0
-	for _, p := range cs.sorted {
-		if cs.failed[p] {
+	for _, p := range sc.sorted {
+		if sc.has(p, flagFailed) {
 			continue
 		}
 		seen++
 		if seen > horizon {
 			break
 		}
-		if !cs.queried[p] {
-			out = append(out, p)
-			if len(out) == alpha {
+		if !sc.has(p, flagQueried) {
+			sc.batch = append(sc.batch, p)
+			if len(sc.batch) == alpha {
 				break
 			}
 		}
 	}
-	return out
+	return sc.batch
 }
 
-// closest returns the n closest non-failed peers.
-func (cs *candidateSet) closest(n int) []netsim.PeerInfo {
-	out := make([]netsim.PeerInfo, 0, n)
-	for _, p := range cs.sorted {
-		if cs.failed[p] {
+// closestIDs returns the n closest non-failed candidate IDs (aliases
+// sc.sorted storage validity-wise: consume before the next walk).
+func (sc *walkScratch) closestIDs(n int, yield func(ids.PeerID) bool) {
+	taken := 0
+	for _, p := range sc.sorted {
+		if sc.has(p, flagFailed) {
 			continue
 		}
-		out = append(out, cs.known[p])
-		if len(out) == n {
-			break
+		if !yield(p) {
+			return
+		}
+		taken++
+		if taken == n {
+			return
 		}
 	}
-	return out
 }
 
 // GetClosestPeers walks the DHT from the seed peers toward target and
@@ -135,33 +188,47 @@ func (w *Walker) GetClosestPeers(seeds []netsim.PeerInfo, target ids.Key) ([]net
 // GetClosestPeersVia is GetClosestPeers with the walk's RPCs issued
 // through an Effects lane (nil = serial/immediate mode).
 func (w *Walker) GetClosestPeersVia(env *netsim.Effects, seeds []netsim.PeerInfo, target ids.Key) ([]netsim.PeerInfo, WalkStats) {
-	cs := newCandidateSet(target)
+	sc := w.scratch(env)
+	stats := w.walk(env, sc, seeds, target)
+	out := make([]netsim.PeerInfo, 0, K)
+	sc.closestIDs(K, func(p ids.PeerID) bool {
+		out = append(out, w.net.Info(p))
+		return true
+	})
+	return out, stats
+}
+
+// walk runs the iterative FindNode lookup toward target over the given
+// scratch, leaving the candidate set populated for the caller to read.
+func (w *Walker) walk(env *netsim.Effects, sc *walkScratch, seeds []netsim.PeerInfo, target ids.Key) WalkStats {
+	sc.reset()
 	for _, s := range seeds {
-		cs.add(s)
+		sc.add(target, s.ID)
 	}
 	var stats WalkStats
 	for {
-		batch := cs.nextBatch(Alpha, K)
+		batch := sc.nextBatch(Alpha, K)
 		if len(batch) == 0 {
 			break
 		}
 		for _, p := range batch {
-			cs.queried[p] = true
+			sc.mark(p, flagQueried)
 			stats.Queried++
-			peers, err := w.net.FindNodeVia(env, w.self, p, target)
+			closer, err := w.net.FindNodeVia(env, sc.closer[:0], w.self, p, target)
+			sc.closer = closer[:0]
 			if err != nil {
-				cs.failed[p] = true
+				sc.mark(p, flagFailed)
 				stats.Failed++
 				continue
 			}
-			for _, pi := range peers {
-				if pi.ID != w.self {
-					cs.add(pi)
+			for _, pi := range closer {
+				if pi != w.self {
+					sc.add(target, pi)
 				}
 			}
 		}
 	}
-	return cs.closest(K), stats
+	return stats
 }
 
 // Provide advertises `self` (described by selfInfo, which may include
@@ -175,16 +242,25 @@ func (w *Walker) Provide(seeds []netsim.PeerInfo, c ids.CID, selfInfo netsim.Pee
 // ProvideVia is Provide with the walk and advertisements issued through
 // an Effects lane.
 func (w *Walker) ProvideVia(env *netsim.Effects, seeds []netsim.PeerInfo, c ids.CID, selfInfo netsim.PeerInfo) ([]ids.PeerID, WalkStats) {
-	resolvers, stats := w.GetClosestPeersVia(env, seeds, c.Key())
+	sc := w.scratch(env)
+	stats := w.walk(env, sc, seeds, c.Key())
 	rec := netsim.ProviderRecord{Provider: selfInfo, Received: w.net.Clock.Now()}
 	var accepted []ids.PeerID
+	// Collect the resolver set first: AddProvider dials must not reuse
+	// the scratch the candidate ordering lives in.
+	resolvers := sc.batch[:0]
+	sc.closestIDs(K, func(p ids.PeerID) bool {
+		resolvers = append(resolvers, p)
+		return true
+	})
+	sc.batch = resolvers
 	for _, r := range resolvers {
-		if err := w.net.AddProviderVia(env, w.self, r.ID, c, rec); err != nil {
+		if err := w.net.AddProviderVia(env, w.self, r, c, rec); err != nil {
 			stats.Failed++
 			continue
 		}
 		stats.Queried++
-		accepted = append(accepted, r.ID)
+		accepted = append(accepted, r)
 	}
 	return accepted, stats
 }
@@ -207,23 +283,24 @@ func (w *Walker) FindProviders(seeds []netsim.PeerInfo, c ids.CID, opts FindProv
 }
 
 // FindProvidersVia is FindProviders with the walk issued through an
-// Effects lane.
+// Effects lane. The returned slice is freshly allocated (callers retain
+// it); all intermediate walk state comes from the lane scratch.
 func (w *Walker) FindProvidersVia(env *netsim.Effects, seeds []netsim.PeerInfo, c ids.CID, opts FindProvidersOpts) ([]netsim.ProviderRecord, WalkStats) {
 	if opts.Max <= 0 {
 		opts.Max = K
 	}
 	target := c.Key()
-	cs := newCandidateSet(target)
+	sc := w.scratch(env)
+	sc.reset()
 	for _, s := range seeds {
-		cs.add(s)
+		sc.add(target, s.ID)
 	}
 	var stats WalkStats
-	providers := make(map[ids.PeerID]netsim.ProviderRecord)
 	done := func() bool {
-		return !opts.Exhaustive && len(providers) >= opts.Max
+		return !opts.Exhaustive && len(sc.provs) >= opts.Max
 	}
 	for !done() {
-		batch := cs.nextBatch(Alpha, K)
+		batch := sc.nextBatch(Alpha, K)
 		if len(batch) == 0 {
 			break
 		}
@@ -231,30 +308,30 @@ func (w *Walker) FindProvidersVia(env *netsim.Effects, seeds []netsim.PeerInfo, 
 			if done() {
 				break
 			}
-			cs.queried[p] = true
+			sc.mark(p, flagQueried)
 			stats.Queried++
-			recs, closer, err := w.net.GetProvidersVia(env, w.self, p, c)
+			recs, closer, err := w.net.GetProvidersVia(env, sc.recs[:0], sc.closer[:0], w.self, p, c)
+			sc.recs, sc.closer = recs[:0], closer[:0]
 			if err != nil {
-				cs.failed[p] = true
+				sc.mark(p, flagFailed)
 				stats.Failed++
 				continue
 			}
 			for _, r := range recs {
-				if _, ok := providers[r.Provider.ID]; !ok {
-					providers[r.Provider.ID] = r
+				if !sc.provSeen[r.Provider.ID] {
+					sc.provSeen[r.Provider.ID] = true
+					sc.provs = append(sc.provs, r)
 				}
 			}
 			for _, pi := range closer {
-				if pi.ID != w.self {
-					cs.add(pi)
+				if pi != w.self {
+					sc.add(target, pi)
 				}
 			}
 		}
 	}
-	out := make([]netsim.ProviderRecord, 0, len(providers))
-	for _, r := range providers {
-		out = append(out, r)
-	}
+	out := make([]netsim.ProviderRecord, len(sc.provs))
+	copy(out, sc.provs)
 	// Deterministic order: by provider ID key.
 	sort.Slice(out, func(i, j int) bool {
 		return out[i].Provider.ID.Key().Cmp(out[j].Provider.ID.Key()) < 0

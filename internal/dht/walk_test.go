@@ -11,16 +11,25 @@ func pi(seed uint64) netsim.PeerInfo {
 	return netsim.PeerInfo{ID: ids.PeerIDFromSeed(seed)}
 }
 
+func freshScratch(target ids.Key, seeds ...uint64) *walkScratch {
+	sc := newWalkScratch()
+	sc.reset()
+	for _, s := range seeds {
+		sc.add(target, ids.PeerIDFromSeed(s))
+	}
+	return sc
+}
+
 func TestCandidateSetOrdering(t *testing.T) {
 	target := ids.KeyFromUint64(0)
-	cs := newCandidateSet(target)
+	sc := freshScratch(target)
 	for s := uint64(1); s <= 50; s++ {
-		cs.add(pi(s))
+		sc.add(target, ids.PeerIDFromSeed(s))
 	}
 	// sorted must be in increasing XOR distance to target.
-	for i := 1; i < len(cs.sorted); i++ {
-		a := cs.sorted[i-1].Key().Xor(target)
-		b := cs.sorted[i].Key().Xor(target)
+	for i := 1; i < len(sc.sorted); i++ {
+		a := sc.sorted[i-1].Key().Xor(target)
+		b := sc.sorted[i].Key().Xor(target)
 		if b.Cmp(a) < 0 {
 			t.Fatalf("candidate order violated at %d", i)
 		}
@@ -28,31 +37,48 @@ func TestCandidateSetOrdering(t *testing.T) {
 }
 
 func TestCandidateSetDeduplicates(t *testing.T) {
-	cs := newCandidateSet(ids.KeyFromUint64(0))
-	cs.add(pi(1))
-	cs.add(pi(1))
-	if len(cs.sorted) != 1 || len(cs.known) != 1 {
-		t.Fatalf("duplicate admitted: %d entries", len(cs.sorted))
+	target := ids.KeyFromUint64(0)
+	sc := freshScratch(target, 1, 1)
+	if len(sc.sorted) != 1 || len(sc.idx) != 1 {
+		t.Fatalf("duplicate admitted: %d entries", len(sc.sorted))
 	}
-	cs.add(netsim.PeerInfo{}) // zero ID must be ignored
-	if len(cs.sorted) != 1 {
+	sc.add(target, ids.PeerID{}) // zero ID must be ignored
+	if len(sc.sorted) != 1 {
 		t.Fatal("zero peer admitted")
+	}
+}
+
+func TestScratchResetKeepsNothing(t *testing.T) {
+	target := ids.KeyFromUint64(0)
+	sc := freshScratch(target, 1, 2, 3)
+	sc.mark(ids.PeerIDFromSeed(1), flagQueried)
+	sc.provSeen[ids.PeerIDFromSeed(9)] = true
+	sc.provs = append(sc.provs, netsim.ProviderRecord{})
+	sc.reset()
+	if len(sc.idx) != 0 || len(sc.sorted) != 0 || len(sc.flags) != 0 ||
+		len(sc.provSeen) != 0 || len(sc.provs) != 0 {
+		t.Fatalf("reset left state behind: %+v", sc)
+	}
+	// Re-adding after reset starts flags fresh.
+	sc.add(target, ids.PeerIDFromSeed(1))
+	if sc.has(ids.PeerIDFromSeed(1), flagQueried) {
+		t.Fatal("stale queried flag survived reset")
 	}
 }
 
 func TestNextBatchRespectsAlphaAndHorizon(t *testing.T) {
 	target := ids.KeyFromUint64(0)
-	cs := newCandidateSet(target)
+	sc := freshScratch(target)
 	for s := uint64(1); s <= 40; s++ {
-		cs.add(pi(s))
+		sc.add(target, ids.PeerIDFromSeed(s))
 	}
-	batch := cs.nextBatch(3, K)
+	batch := sc.nextBatch(3, K)
 	if len(batch) != 3 {
 		t.Fatalf("batch size %d, want alpha=3", len(batch))
 	}
 	// The batch must be drawn from the K closest candidates.
 	closestSet := map[ids.PeerID]bool{}
-	for i, p := range cs.sorted {
+	for i, p := range sc.sorted {
 		if i >= K {
 			break
 		}
@@ -64,47 +90,52 @@ func TestNextBatchRespectsAlphaAndHorizon(t *testing.T) {
 		}
 	}
 	// Marking everything in the horizon queried converges the walk.
-	for i := 0; i < K && i < len(cs.sorted); i++ {
-		cs.queried[cs.sorted[i]] = true
+	for i := 0; i < K && i < len(sc.sorted); i++ {
+		sc.mark(sc.sorted[i], flagQueried)
 	}
-	if got := cs.nextBatch(3, K); len(got) != 0 {
+	if got := sc.nextBatch(3, K); len(got) != 0 {
 		t.Fatalf("converged set still yields batch of %d", len(got))
 	}
 }
 
 func TestNextBatchSkipsFailed(t *testing.T) {
 	target := ids.KeyFromUint64(0)
-	cs := newCandidateSet(target)
+	sc := freshScratch(target)
 	for s := uint64(1); s <= 30; s++ {
-		cs.add(pi(s))
+		sc.add(target, ids.PeerIDFromSeed(s))
 	}
 	// Fail the closest 5: the horizon window must slide past them.
 	for i := 0; i < 5; i++ {
-		cs.failed[cs.sorted[i]] = true
+		sc.mark(sc.sorted[i], flagFailed)
 	}
-	batch := cs.nextBatch(3, K)
+	batch := sc.nextBatch(3, K)
 	for _, p := range batch {
-		if cs.failed[p] {
+		if sc.has(p, flagFailed) {
 			t.Fatal("failed peer re-batched")
 		}
 	}
-	closest := cs.closest(K)
-	for _, c := range closest {
-		if cs.failed[c.ID] {
-			t.Fatal("failed peer in closest()")
+	sc.closestIDs(K, func(p ids.PeerID) bool {
+		if sc.has(p, flagFailed) {
+			t.Fatal("failed peer in closestIDs()")
 		}
-	}
+		return true
+	})
 }
 
 func TestClosestBounds(t *testing.T) {
-	cs := newCandidateSet(ids.KeyFromUint64(0))
-	if got := cs.closest(5); len(got) != 0 {
-		t.Fatal("closest on empty set")
+	target := ids.KeyFromUint64(0)
+	sc := freshScratch(target)
+	count := 0
+	sc.closestIDs(5, func(ids.PeerID) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("closestIDs on empty set")
 	}
-	cs.add(pi(1))
-	cs.add(pi(2))
-	if got := cs.closest(5); len(got) != 2 {
-		t.Fatalf("closest(5) over 2 candidates = %d", len(got))
+	sc.add(target, ids.PeerIDFromSeed(1))
+	sc.add(target, ids.PeerIDFromSeed(2))
+	count = 0
+	sc.closestIDs(5, func(ids.PeerID) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("closestIDs(5) over 2 candidates = %d", count)
 	}
 }
 
@@ -127,5 +158,20 @@ func TestWalkStatsFailureAccounting(t *testing.T) {
 	_, stats := w.GetClosestPeers(seeds, ids.KeyFromUint64(5))
 	if stats.Queried != 3 || stats.Failed != 3 {
 		t.Fatalf("stats = %+v, want 3 queried / 3 failed", stats)
+	}
+}
+
+func TestScratchReuseAcrossWalks(t *testing.T) {
+	// Serial-mode walks on one walker share its scratch; back-to-back
+	// walks must not leak candidate or provider state into each other.
+	net := netsim.New()
+	w := NewWalker(net, ids.PeerIDFromSeed(1))
+	_, _ = w.GetClosestPeers([]netsim.PeerInfo{pi(10)}, ids.KeyFromUint64(5))
+	recs, stats := w.FindProviders([]netsim.PeerInfo{pi(11)}, ids.CIDFromSeed(2), FindProvidersOpts{})
+	if len(recs) != 0 {
+		t.Fatalf("provider records leaked across walks: %v", recs)
+	}
+	if stats.Queried != 1 {
+		t.Fatalf("second walk queried %d, want its own single seed", stats.Queried)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"tcsb/internal/core"
 	"tcsb/internal/counterfactual"
+	"tcsb/internal/scenario"
 	"tcsb/internal/simtest/campaign"
 )
 
@@ -213,6 +214,49 @@ func TestCampaignWorkerDeterminism(t *testing.T) {
 	}
 	if !strings.Contains(pairSerialJSON, `"experiment":"whatif.fig13"`) {
 		t.Error("paired JSONL stream is missing delta experiments")
+	}
+
+	// Streaming vs retained: RetainTrace keeps raw logs next to the
+	// streaming accumulators but must not change a byte of rendered
+	// output (the analyses read the accumulators in both modes).
+	retainedRC := campaign.SmallRunConfig()
+	retainedRC.Workers = 1
+	retainedRC.RetainTrace = true
+	retained := core.Observe(campaign.SmallConfig(5), retainedRC)
+	retainedText, retainedJSON := renderAll(t, retained, 1)
+	if retainedText != serialText {
+		t.Error("text output differs between streaming and retained-trace campaigns")
+	}
+	if retainedJSON != serialJSON {
+		t.Error("JSONL output differs between streaming and retained-trace campaigns")
+	}
+}
+
+// TestScalePresetWorkerDeterminism extends the stdout contract to the
+// scale.* scenario family: a preset-scaled campaign (streaming is what
+// makes these worlds affordable) renders byte-identically for every
+// campaign worker count.
+func TestScalePresetWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two scaled observation campaigns")
+	}
+	preset, ok := scenario.LookupScale("scale.2x")
+	if !ok {
+		t.Fatal("scale.2x preset not registered")
+	}
+	build := func(workers int) *core.Observatory {
+		cfg := preset.Apply(campaign.SmallConfig(5))
+		rc := campaign.SmallRunConfig()
+		rc.Workers = workers
+		return core.Observe(cfg, rc)
+	}
+	serialText, serialJSON := renderAll(t, build(1), 1)
+	pooledText, pooledJSON := renderAll(t, build(8), 4)
+	if serialText != pooledText {
+		t.Error("scale.2x text output differs between campaign workers=1 and workers=8")
+	}
+	if serialJSON != pooledJSON {
+		t.Error("scale.2x JSONL output differs between campaign workers=1 and workers=8")
 	}
 }
 

@@ -149,7 +149,7 @@ func deltaSection5(b, w *core.Observatory) []*report.Table {
 	for _, cl := range []trace.Class{trace.Download, trace.Advertise, trace.Other} {
 		addShare(t, cl.String()+" share", mb[cl], mw[cl])
 	}
-	addCount(t, "vantage log events", b.HydraLog.Len(), w.HydraLog.Len())
+	addCount(t, "vantage log events", b.HydraStats().Len(), w.HydraStats().Len())
 	return []*report.Table{t}
 }
 
@@ -167,8 +167,8 @@ func deltaFig11(b, w *core.Observatory) []*report.Table {
 func deltaFig13(b, w *core.Observatory) []*report.Table {
 	rb, rw := b.Fig13Platforms(), w.Fig13Platforms()
 	t := deltaTable("What-if Fig 13 — platform traffic attribution")
-	addShare(t, "hydra share of all DHT traffic", rb.DHTAll["hydra"], rw.DHTAll["hydra"])
-	addShare(t, "hydra share of DHT download traffic", rb.DHTDownload["hydra"], rw.DHTDownload["hydra"])
+	addShare(t, "hydra share of all DHT traffic", rb.DHTAll[scenario.PlatformLabelHydra], rw.DHTAll[scenario.PlatformLabelHydra])
+	addShare(t, "hydra share of DHT download traffic", rb.DHTDownload[scenario.PlatformLabelHydra], rw.DHTDownload[scenario.PlatformLabelHydra])
 	addShare(t, "web3.storage share of DHT advertise traffic",
 		rb.DHTAdvertise[scenario.PlatformWeb3Storage], rw.DHTAdvertise[scenario.PlatformWeb3Storage])
 	addShare(t, "ipfs-bank share of Bitswap traffic",

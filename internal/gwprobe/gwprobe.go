@@ -18,6 +18,7 @@ import (
 	"tcsb/internal/gateway"
 	"tcsb/internal/ids"
 	"tcsb/internal/monitor"
+	"tcsb/internal/trace"
 )
 
 // Prober identifies gateway overlay IDs through a Bitswap monitor.
@@ -50,22 +51,27 @@ func (p *Prober) uniqueCID() ids.CID {
 }
 
 // ProbeOnce runs one probe against a gateway: plant unique content on the
-// monitor, fetch it via the gateway's HTTP side, and scan the monitor log
-// for the WANT that exposes the serving overlay node. It returns the
-// discovered overlay ID and whether the probe succeeded.
+// monitor, attach a tap watching for the planted CID, fetch the content
+// via the gateway's HTTP side, and read the serving overlay node off the
+// first matching WANT the tap saw. Probes are serial by protocol (each
+// reads its own trace back), so the tap observes events immediately; no
+// raw log retention is needed. It returns the discovered overlay ID and
+// whether the probe succeeded.
 func (p *Prober) ProbeOnce(gw *gateway.Gateway) (ids.PeerID, bool) {
 	c := p.uniqueCID()
 	p.mon.AddBlock(c)
-	logStart := p.mon.Log().Len()
+	var hit ids.PeerID
+	found := false
+	remove := p.mon.Tap(trace.SinkFunc(func(e trace.Event) {
+		if !found && e.CID == c {
+			hit, found = e.Peer, true
+		}
+	}))
+	defer remove()
 	if ok, _ := gw.FetchHTTPNodeVia(nil, c, p.online); !ok {
 		return ids.PeerID{}, false
 	}
-	for _, e := range p.mon.Log().Events()[logStart:] {
-		if e.CID == c {
-			return e.Peer, true
-		}
-	}
-	return ids.PeerID{}, false
+	return hit, found
 }
 
 // Identify repeatedly probes a gateway, returning the distinct overlay

@@ -143,20 +143,31 @@ func (t *Table) Contains(p ids.PeerID) bool {
 }
 
 // NearestPeers returns up to n peers from the table closest to target
-// under the XOR metric, in increasing distance order. This is the local
-// half of the FindNode RPC: a queried DHT server answers with the K
-// closest contacts from its own buckets.
+// under the XOR metric, in increasing distance order. It is
+// AppendNearest over a nil destination; hot callers (the FindNode
+// handlers) use AppendNearest with a reusable buffer instead.
+func (t *Table) NearestPeers(target ids.Key, n int) []ids.PeerID {
+	return t.AppendNearest(nil, target, n)
+}
+
+// AppendNearest appends up to n peers from the table closest to target,
+// in increasing distance order, onto dst and returns it (append-style:
+// the result may alias dst's storage). This is the local half of the
+// FindNode RPC: a queried DHT server answers with the K closest
+// contacts from its own buckets.
 //
 // It runs a bounded selection — a single scan keeping the best n in a
-// small sorted window — rather than sorting the whole table. Answering
-// FindNode is the simulator's hottest operation (every walk step, crawl
-// sweep and Hydra lookup lands here), and for n = K ≪ table size the
-// selection does one XOR + one tail compare per contact instead of an
-// O(size log size) reflective sort. The result is exact and identical
-// to the sort-based implementation.
-func (t *Table) NearestPeers(target ids.Key, n int) []ids.PeerID {
-	if n <= 0 {
-		return nil
+// small unsorted window — rather than sorting the whole table.
+// Answering FindNode is the simulator's hottest operation (every walk
+// step, crawl sweep and Hydra lookup lands here), and for n = K ≪ table
+// size the selection does one XOR + one tail compare per contact
+// instead of an O(size log size) reflective sort. The selection window
+// lives on the stack (no scratch allocation) for n up to
+// selectorInline; the result is exact and identical to the sort-based
+// implementation.
+func (t *Table) AppendNearest(dst []ids.PeerID, target ids.Key, n int) []ids.PeerID {
+	if n <= 0 || t.size == 0 {
+		return dst
 	}
 	if n > t.size {
 		n = t.size
@@ -170,93 +181,104 @@ func (t *Table) NearestPeers(target ids.Key, n int) []ids.PeerID {
 	// contacts (making subsequent rejects first-byte cheap), and once
 	// the window is full every remaining bucket below the current band
 	// is provably farther and gets skipped wholesale.
+	var distBuf [selectorInline]ids.Key
+	var peerBuf [selectorInline]ids.PeerID
+	dists, peers := selectorWindow(&distBuf, &peerBuf, n)
+	var st selState
 	cplT := ids.CommonPrefixLen(t.self, target)
-	sel := newSelector(target, n)
-	for _, c := range t.buckets[cplT] {
-		sel.offer(c.Peer)
+	for i := range t.buckets[cplT] {
+		offer(dists, peers, &st, target, t.buckets[cplT][i].Peer)
 	}
 	for b := cplT + 1; b < len(t.buckets); b++ {
-		for _, c := range t.buckets[b] {
-			sel.offer(c.Peer)
+		for i := range t.buckets[b] {
+			offer(dists, peers, &st, target, t.buckets[b][i].Peer)
 		}
 	}
 	for b := cplT - 1; b >= 0; b-- {
-		if sel.full() {
+		if st.size == len(peers) {
 			break
 		}
-		for _, c := range t.buckets[b] {
-			sel.offer(c.Peer)
+		for i := range t.buckets[b] {
+			offer(dists, peers, &st, target, t.buckets[b][i].Peer)
 		}
 	}
-	return sel.finalize()
+	return appendSorted(dst, dists, peers, &st)
 }
 
-// selector keeps the n closest peers to a target seen so far in an
-// unsorted window, tracking the current worst entry: rejects cost one
-// fused byte-compare, replacements an O(n) worst rescan (rare once the
-// window is warm), and the window is sorted exactly once at the end.
-type selector struct {
-	target ids.Key
-	limit  int
-	worst  int
-	dists  []ids.Key
-	peers  []ids.PeerID
+// selectorInline is the window size the bounded selection keeps on the
+// caller's stack. Every call site in the tree selects at most 2*dht.K
+// (= 40) peers; larger requests fall back to heap-allocated windows.
+const selectorInline = 64
+
+// selState tracks the fill level and current-worst index of a selection
+// window. The window itself lives in two plain slices (dists, peers)
+// passed alongside — deliberately NOT bundled into a struct with the
+// backing arrays: a struct holding slices of its own arrays is
+// self-referential, which defeats escape analysis and would heap-
+// allocate the ~4 KB window on every call (the simulator's hottest
+// path). With local arrays sliced into local variables, everything
+// stays on the stack.
+type selState struct {
+	size  int
+	worst int
 }
 
-func newSelector(target ids.Key, n int) *selector {
-	return &selector{
-		target: target,
-		limit:  n,
-		dists:  make([]ids.Key, 0, n),
-		peers:  make([]ids.PeerID, 0, n),
+// selectorWindow slices a selection window of capacity n out of the
+// inline buffers, falling back to the heap only for n > selectorInline.
+func selectorWindow(distBuf *[selectorInline]ids.Key, peerBuf *[selectorInline]ids.PeerID, n int) ([]ids.Key, []ids.PeerID) {
+	if n <= selectorInline {
+		return distBuf[:n], peerBuf[:n]
 	}
+	return make([]ids.Key, n), make([]ids.PeerID, n)
 }
 
-func (s *selector) full() bool { return len(s.peers) == s.limit }
-
-func (s *selector) offer(p ids.PeerID) {
+// offer considers one peer for the n-closest window: rejects cost one
+// fused byte-compare against the current worst, replacements an O(n)
+// worst rescan (rare once the window is warm).
+func offer(dists []ids.Key, peers []ids.PeerID, st *selState, target ids.Key, p ids.PeerID) {
 	k := p.Key()
-	if s.full() {
+	if st.size == len(peers) {
 		// Fast reject against the current worst, byte-fused with early
 		// exit — the overwhelmingly common case, usually decided on the
 		// first byte without materializing the distance.
-		if !xorLess(k, s.target, s.dists[s.worst]) {
+		if !xorLess(k, target, dists[st.worst]) {
 			return
 		}
-		s.dists[s.worst] = k.Xor(s.target)
-		s.peers[s.worst] = p
+		dists[st.worst] = k.Xor(target)
+		peers[st.worst] = p
 		w := 0
-		for i := 1; i < len(s.dists); i++ {
-			if s.dists[i].Cmp(s.dists[w]) > 0 {
+		for i := 1; i < st.size; i++ {
+			if dists[i].Cmp(dists[w]) > 0 {
 				w = i
 			}
 		}
-		s.worst = w
+		st.worst = w
 		return
 	}
-	d := k.Xor(s.target)
-	s.dists = append(s.dists, d)
-	s.peers = append(s.peers, p)
-	if d.Cmp(s.dists[s.worst]) > 0 {
-		s.worst = len(s.dists) - 1
+	d := k.Xor(target)
+	dists[st.size] = d
+	peers[st.size] = p
+	if d.Cmp(dists[st.worst]) > 0 {
+		st.worst = st.size
 	}
+	st.size++
 }
 
-// finalize sorts the window by distance (insertion sort: the window is
-// at most `limit` entries) and returns the peers, closest first.
-func (s *selector) finalize() []ids.PeerID {
-	for i := 1; i < len(s.dists); i++ {
-		d, p := s.dists[i], s.peers[i]
+// appendSorted sorts the window by distance (insertion sort: the window
+// is small) and appends the peers onto dst, closest first.
+func appendSorted(dst []ids.PeerID, dists []ids.Key, peers []ids.PeerID, st *selState) []ids.PeerID {
+	for i := 1; i < st.size; i++ {
+		d, p := dists[i], peers[i]
 		j := i
-		for j > 0 && d.Cmp(s.dists[j-1]) < 0 {
-			s.dists[j] = s.dists[j-1]
-			s.peers[j] = s.peers[j-1]
+		for j > 0 && d.Cmp(dists[j-1]) < 0 {
+			dists[j] = dists[j-1]
+			peers[j] = peers[j-1]
 			j--
 		}
-		s.dists[j] = d
-		s.peers[j] = p
+		dists[j] = d
+		peers[j] = p
 	}
-	return s.peers
+	return append(dst, peers[:st.size]...)
 }
 
 // xorLess reports whether (k XOR target) < w without materializing the
@@ -276,17 +298,26 @@ func xorLess(k, target, w ids.Key) bool {
 // uses. It is the allocation-light replacement for sort-the-whole-slice
 // call sites (topology oracles, resolver sets).
 func SelectNearest(peers []ids.PeerID, target ids.Key, n int) []ids.PeerID {
+	return AppendSelectNearest(nil, peers, target, n)
+}
+
+// AppendSelectNearest is SelectNearest appending onto dst (append-style;
+// scratch-free for n <= selectorInline, like AppendNearest).
+func AppendSelectNearest(dst []ids.PeerID, peers []ids.PeerID, target ids.Key, n int) []ids.PeerID {
 	if n <= 0 || len(peers) == 0 {
-		return nil
+		return dst
 	}
 	if n > len(peers) {
 		n = len(peers)
 	}
-	sel := newSelector(target, n)
+	var distBuf [selectorInline]ids.Key
+	var peerBuf [selectorInline]ids.PeerID
+	dists, window := selectorWindow(&distBuf, &peerBuf, n)
+	var st selState
 	for _, p := range peers {
-		sel.offer(p)
+		offer(dists, window, &st, target, p)
 	}
-	return sel.finalize()
+	return appendSorted(dst, dists, window, &st)
 }
 
 // AllPeers returns every contact's peer ID. Order is bucket-major and

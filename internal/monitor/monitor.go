@@ -1,7 +1,8 @@
 // Package monitor implements the Bitswap monitoring node of the paper
 // (Section 3, "Bitswap logs"; originally from Balduf et al., ICDCS 2022):
 // a modified IPFS node with unbounded connection capacity that logs every
-// incoming Bitswap broadcast to disk — here, to a trace.Log.
+// incoming Bitswap broadcast — here, into a trace.Pipeline that folds the
+// stream into bounded statistics (and optionally retains the raw events).
 //
 // The monitor sees the subset of Bitswap traffic broadcast by its
 // neighbours: only the initial provider-discovery WANTs, not unicast
@@ -27,29 +28,46 @@ import (
 type Monitor struct {
 	id     ids.PeerID
 	net    *netsim.Network
-	log    trace.Log
+	pipe   *trace.Pipeline
 	blocks map[ids.CID]bool
-	// requesters remembers which peers have contacted us, the monitor's
-	// view of its (unbounded) connection set.
-	requesters map[ids.PeerID]bool
 }
 
-// New creates a monitor with the given overlay identity. The caller
+// New creates a monitor with the given overlay identity and a
+// raw-event-retaining pipeline (the standalone / test-facing default;
+// campaign worlds use NewWithPipeline to stream instead). The caller
 // attaches it to the network (reachable, unlimited inbound).
 func New(id ids.PeerID, net *netsim.Network) *Monitor {
+	return NewWithPipeline(id, net, trace.NewPipeline(trace.Options{Retain: true}))
+}
+
+// NewWithPipeline creates a monitor observing into the given pipeline.
+func NewWithPipeline(id ids.PeerID, net *netsim.Network, pipe *trace.Pipeline) *Monitor {
 	return &Monitor{
-		id:         id,
-		net:        net,
-		blocks:     make(map[ids.CID]bool),
-		requesters: make(map[ids.PeerID]bool),
+		id:     id,
+		net:    net,
+		pipe:   pipe,
+		blocks: make(map[ids.CID]bool),
 	}
 }
 
 // ID returns the monitor's overlay identity.
 func (m *Monitor) ID() ids.PeerID { return m.id }
 
-// Log returns the raw, unmodified Bitswap traces.
-func (m *Monitor) Log() *trace.Log { return &m.log }
+// Log returns the retained raw Bitswap traces, or nil when the pipeline
+// does not retain events (streaming campaigns; use Stats instead).
+func (m *Monitor) Log() *trace.Log { return m.pipe.Log() }
+
+// Stats returns the streaming Bitswap statistics.
+func (m *Monitor) Stats() *trace.Accum { return m.pipe.Stats() }
+
+// Pipeline returns the monitor's observation pipeline.
+func (m *Monitor) Pipeline() *trace.Pipeline { return m.pipe }
+
+// Tap attaches a sink that sees every subsequent broadcast (serial mode
+// only) and returns its detach function — how the gateway prober watches
+// for the WANT of its planted content without the monitor retaining raw
+// events.
+func (m *Monitor) Tap(s trace.Sink) (remove func()) { return m.pipe.Tap(s) }
 
 // AddBlock plants content on the monitor (used by the gateway probe: we
 // are then "reasonably certain to be the only provider").
@@ -59,49 +77,65 @@ func (m *Monitor) AddBlock(c ids.CID) { m.blocks[c] = true }
 func (m *Monitor) HasBlock(c ids.CID) bool { return m.blocks[c] }
 
 // Requesters returns the number of distinct peers that have sent us
-// Bitswap traffic.
-func (m *Monitor) Requesters() int { return len(m.requesters) }
+// Bitswap traffic (zero for a discarding pipeline).
+func (m *Monitor) Requesters() int {
+	if st := m.pipe.Stats(); st != nil {
+		return st.DistinctPeers()
+	}
+	return 0
+}
 
 // HandleBitswapWant logs the broadcast and answers from the blockstore.
-// The log append and requester bookkeeping are deferred through the
-// caller's lane, so broadcasts from concurrent shards land in the log in
-// deterministic lane-merge order.
+// The observation goes through the caller's lane sink, so broadcasts
+// from concurrent shards land in the pipeline in deterministic
+// lane-merge order.
 func (m *Monitor) HandleBitswapWant(env *netsim.Effects, from ids.PeerID, c ids.CID) bool {
-	ip, viaRelay := m.net.ObservedAddr(from)
-	e := trace.Event{
-		Time:     m.net.Clock.Now(),
-		Peer:     from,
-		IP:       ip,
-		Type:     netsim.MsgBitswapWant,
-		CID:      c,
-		ViaRelay: viaRelay,
+	if m.pipe.Active() {
+		ip, viaRelay := m.net.ObservedAddr(from)
+		m.pipe.Via(env).Observe(trace.Event{
+			Time:     m.net.Clock.Now(),
+			Peer:     from,
+			IP:       ip,
+			Type:     netsim.MsgBitswapWant,
+			CID:      c,
+			ViaRelay: viaRelay,
+		})
 	}
-	env.Defer(func() {
-		m.requesters[from] = true
-		m.log.Append(e)
-	})
 	return m.blocks[c]
 }
 
 // HandleFindNode: the monitor is not a DHT server.
-func (m *Monitor) HandleFindNode(env *netsim.Effects, from ids.PeerID, target ids.Key) []netsim.PeerInfo {
-	return nil
+func (m *Monitor) HandleFindNode(env *netsim.Effects, from ids.PeerID, target ids.Key, closer []ids.PeerID) []ids.PeerID {
+	return closer
 }
 
 // HandleGetProviders: the monitor is not a DHT server.
-func (m *Monitor) HandleGetProviders(env *netsim.Effects, from ids.PeerID, c ids.CID) ([]netsim.ProviderRecord, []netsim.PeerInfo) {
-	return nil, nil
+func (m *Monitor) HandleGetProviders(env *netsim.Effects, from ids.PeerID, c ids.CID, recs []netsim.ProviderRecord, closer []ids.PeerID) ([]netsim.ProviderRecord, []ids.PeerID) {
+	return recs, closer
 }
 
 // HandleAddProvider: records are ignored; the monitor only listens.
 func (m *Monitor) HandleAddProvider(env *netsim.Effects, from ids.PeerID, c ids.CID, rec netsim.ProviderRecord) {
 }
 
-// DailySample implements the paper's daily sampled Bitswap CIDs dataset:
-// all CIDs requested on the given day (virtual day index) are extracted,
-// deduplicated, and sampled uniformly down to sampleSize. If fewer
-// distinct CIDs were seen, all are returned. The result is deterministic
-// for a given rng and sorted input (CIDs are sorted before sampling).
+// SampleDay draws the day's Bitswap CID sample from the streaming
+// statistics: the distinct CIDs requested on the given virtual day,
+// deduplicated and sampled uniformly down to sampleSize — identical to
+// DailySample over the raw log of the same traffic.
+func (m *Monitor) SampleDay(day int64, sampleSize int, rng *rand.Rand) []ids.CID {
+	st := m.pipe.Stats()
+	if st == nil {
+		return nil
+	}
+	return sampleCIDs(st.CIDsOnDay(day), sampleSize, rng)
+}
+
+// DailySample implements the paper's daily sampled Bitswap CIDs dataset
+// over a raw log: all CIDs requested on the given day (virtual day
+// index) are extracted, deduplicated, and sampled uniformly down to
+// sampleSize. If fewer distinct CIDs were seen, all are returned. The
+// result is deterministic for a given rng and sorted input (CIDs are
+// sorted before sampling).
 func DailySample(log *trace.Log, day int64, sampleSize int, rng *rand.Rand) []ids.CID {
 	seen := make(map[ids.CID]bool)
 	for _, e := range log.Events() {
@@ -118,6 +152,14 @@ func DailySample(log *trace.Log, day int64, sampleSize int, rng *rand.Rand) []id
 		all = append(all, c)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Key().Cmp(all[j].Key()) < 0 })
+	return sampleCIDs(all, sampleSize, rng)
+}
+
+// sampleCIDs uniformly samples sampleSize CIDs from the key-sorted
+// input, returning the sample key-sorted (the shared tail of the batch
+// and streaming sampling paths — byte-identical results by
+// construction).
+func sampleCIDs(all []ids.CID, sampleSize int, rng *rand.Rand) []ids.CID {
 	if len(all) <= sampleSize {
 		return all
 	}

@@ -90,12 +90,56 @@ func TestMonitorServesPlantedContent(t *testing.T) {
 func TestMonitorIsNotDHTServer(t *testing.T) {
 	net := simtest.BuildServers(5)
 	m := attachMonitor(net)
-	if got := m.HandleFindNode(nil, net.Nodes[0].ID(), ids.KeyFromUint64(0)); got != nil {
+	if got := m.HandleFindNode(nil, net.Nodes[0].ID(), ids.KeyFromUint64(0), nil); got != nil {
 		t.Error("monitor answered FindNode")
 	}
-	recs, closer := m.HandleGetProviders(nil, net.Nodes[0].ID(), ids.CIDFromSeed(1))
+	recs, closer := m.HandleGetProviders(nil, net.Nodes[0].ID(), ids.CIDFromSeed(1), nil, nil)
 	if recs != nil || closer != nil {
 		t.Error("monitor answered GetProviders")
+	}
+}
+
+func TestMonitorStreamingStats(t *testing.T) {
+	// A streaming (non-retaining) monitor folds the same information the
+	// retained log would hold: event counts, per-day CID sets, distinct
+	// requesters — with Log() unavailable by design.
+	net := simtest.BuildServers(20)
+	id := ids.PeerIDFromSeed(1 << 60)
+	m := NewWithPipeline(id, net.Network, trace.NewPipeline(trace.Options{}))
+	net.Network.Attach(id, m, netsim.HostConfig{Reachable: true, UnlimitedInbound: true})
+	for i := 0; i < 3; i++ {
+		net.Nodes[i].ConnectBitswap(m.ID())
+		net.Nodes[i].Retrieve(ids.CIDFromSeed(uint64(i)), false)
+	}
+	if m.Log() != nil {
+		t.Fatal("streaming monitor retained a raw log")
+	}
+	if got := m.Stats().Len(); got != 3 {
+		t.Fatalf("stats folded %d events, want 3", got)
+	}
+	if m.Requesters() != 3 {
+		t.Fatalf("Requesters = %d, want 3", m.Requesters())
+	}
+	sample := m.SampleDay(0, 10, rand.New(rand.NewSource(1)))
+	if len(sample) != 3 {
+		t.Fatalf("SampleDay returned %d CIDs, want 3", len(sample))
+	}
+}
+
+func TestMonitorTapSeesEvents(t *testing.T) {
+	net := simtest.BuildServers(20)
+	m := attachMonitor(net)
+	net.Nodes[0].ConnectBitswap(m.ID())
+	var tapped []trace.Event
+	remove := m.Tap(trace.SinkFunc(func(e trace.Event) { tapped = append(tapped, e) }))
+	net.Nodes[0].Retrieve(ids.CIDFromSeed(3), false)
+	if len(tapped) != 1 || tapped[0].CID != ids.CIDFromSeed(3) {
+		t.Fatalf("tap saw %v", tapped)
+	}
+	remove()
+	net.Nodes[0].Retrieve(ids.CIDFromSeed(4), false)
+	if len(tapped) != 1 {
+		t.Fatal("detached tap still observing")
 	}
 }
 

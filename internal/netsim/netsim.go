@@ -78,17 +78,27 @@ type ProviderRecord struct {
 // the Hydra booster and the Bitswap monitor all implement it.
 //
 // Every method receives the caller's Effects lane. Handlers must route
-// all state mutations (routing-table learns, record stores, log
-// appends, queue pushes) through env.Defer and keep the computed
-// response a pure function of pre-phase state; env is nil in serial
-// (immediate) mode, where Defer applies on the spot.
+// all state mutations (routing-table learns, record stores, observation
+// streams, queue pushes) through env.Defer or a per-lane sink and keep
+// the computed response a pure function of pre-phase state; env is nil
+// in serial (immediate) mode, where Defer applies on the spot.
+//
+// Closer-peer responses are append-style: the handler appends peer IDs
+// onto the caller-supplied slice and returns it (like append, the
+// result may alias the argument's storage). Responses carry IDs only —
+// address resolution goes through the registry (Info), which is also
+// the only place the simulator's analyses ever consume addresses from —
+// so the hottest RPCs reuse the caller's buffers instead of allocating
+// a contact list per response.
 type Handler interface {
 	// HandleFindNode answers a DHT FindNode: the K closest contacts to
-	// target from the peer's routing table. DHT clients return nil.
-	HandleFindNode(env *Effects, from ids.PeerID, target ids.Key) []PeerInfo
+	// target from the peer's routing table, appended to closer. DHT
+	// clients return closer unchanged.
+	HandleFindNode(env *Effects, from ids.PeerID, target ids.Key, closer []ids.PeerID) []ids.PeerID
 	// HandleGetProviders answers a DHT GetProviders: any provider records
-	// held for c, plus the K closest contacts to c's key.
-	HandleGetProviders(env *Effects, from ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo)
+	// held for c (appended to recs), plus the K closest contacts to c's
+	// key (appended to closer).
+	HandleGetProviders(env *Effects, from ids.PeerID, c ids.CID, recs []ProviderRecord, closer []ids.PeerID) ([]ProviderRecord, []ids.PeerID)
 	// HandleAddProvider ingests a provider record for c.
 	HandleAddProvider(env *Effects, from ids.PeerID, c ids.CID, rec ProviderRecord)
 	// HandleBitswapWant answers a Bitswap WANT(c): whether the peer has
@@ -159,6 +169,9 @@ type Network struct {
 	Clock    Clock
 	hosts    map[ids.PeerID]*hostRecord
 	msgCount [msgTypeCount]int64
+	// lanePool holds reusable Effects lanes for Fanout phases (driver-
+	// serial; lane buffers and scratch survive across phases).
+	lanePool []*Effects
 }
 
 // New creates an empty network.
@@ -363,33 +376,37 @@ func (n *Network) dial(to ids.PeerID) (*hostRecord, error) {
 }
 
 // FindNode performs a FindNode RPC from `from` to `to`.
-func (n *Network) FindNode(from, to ids.PeerID, target ids.Key) ([]PeerInfo, error) {
-	return n.FindNodeVia(nil, from, to, target)
+func (n *Network) FindNode(from, to ids.PeerID, target ids.Key) ([]ids.PeerID, error) {
+	return n.FindNodeVia(nil, nil, from, to, target)
 }
 
 // FindNodeVia is FindNode issued through an Effects lane (nil = serial).
-func (n *Network) FindNodeVia(env *Effects, from, to ids.PeerID, target ids.Key) ([]PeerInfo, error) {
+// The response is appended to closer and returned (append-style: pass a
+// reusable buffer sliced to length 0 to avoid a per-RPC allocation).
+func (n *Network) FindNodeVia(e *Effects, closer []ids.PeerID, from, to ids.PeerID, target ids.Key) ([]ids.PeerID, error) {
 	h, err := n.dial(to)
 	if err != nil {
-		return nil, err
+		return closer, err
 	}
-	n.count(env, MsgFindNode)
-	return h.handler.HandleFindNode(env, from, target), nil
+	n.count(e, MsgFindNode)
+	return h.handler.HandleFindNode(e, from, target, closer), nil
 }
 
 // GetProviders performs a GetProviders RPC.
-func (n *Network) GetProviders(from, to ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo, error) {
-	return n.GetProvidersVia(nil, from, to, c)
+func (n *Network) GetProviders(from, to ids.PeerID, c ids.CID) ([]ProviderRecord, []ids.PeerID, error) {
+	return n.GetProvidersVia(nil, nil, nil, from, to, c)
 }
 
-// GetProvidersVia is GetProviders issued through an Effects lane.
-func (n *Network) GetProvidersVia(env *Effects, from, to ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo, error) {
+// GetProvidersVia is GetProviders issued through an Effects lane, with
+// the record and closer-peer responses appended to the caller's buffers
+// (append-style, like FindNodeVia).
+func (n *Network) GetProvidersVia(e *Effects, recs []ProviderRecord, closer []ids.PeerID, from, to ids.PeerID, c ids.CID) ([]ProviderRecord, []ids.PeerID, error) {
 	h, err := n.dial(to)
 	if err != nil {
-		return nil, nil, err
+		return recs, closer, err
 	}
-	n.count(env, MsgGetProviders)
-	recs, closer := h.handler.HandleGetProviders(env, from, c)
+	n.count(e, MsgGetProviders)
+	recs, closer = h.handler.HandleGetProviders(e, from, c, recs, closer)
 	return recs, closer, nil
 }
 

@@ -15,19 +15,19 @@ type stubHandler struct {
 	addCalls      int
 	getCalls      int
 	lastFrom      ids.PeerID
-	peers         []PeerInfo
+	peers         []ids.PeerID
 	has           bool
 	recs          []ProviderRecord
 }
 
-func (s *stubHandler) HandleFindNode(env *Effects, from ids.PeerID, target ids.Key) []PeerInfo {
+func (s *stubHandler) HandleFindNode(env *Effects, from ids.PeerID, target ids.Key, closer []ids.PeerID) []ids.PeerID {
 	s.findNodeCalls++
 	s.lastFrom = from
-	return s.peers
+	return append(closer, s.peers...)
 }
-func (s *stubHandler) HandleGetProviders(env *Effects, from ids.PeerID, c ids.CID) ([]ProviderRecord, []PeerInfo) {
+func (s *stubHandler) HandleGetProviders(env *Effects, from ids.PeerID, c ids.CID, recs []ProviderRecord, closer []ids.PeerID) ([]ProviderRecord, []ids.PeerID) {
 	s.getCalls++
-	return s.recs, s.peers
+	return append(recs, s.recs...), append(closer, s.peers...)
 }
 func (s *stubHandler) HandleAddProvider(env *Effects, from ids.PeerID, c ids.CID, rec ProviderRecord) {
 	s.addCalls++

@@ -2,23 +2,51 @@ package netsim
 
 import "sync"
 
+// Lane is per-lane state owned by a shared root object (e.g. a trace
+// pipeline): during a concurrent phase each worker writes to its own
+// lane instance, and when the phase ends the root merges the lanes in
+// fixed task order. NewLane creates an empty lane instance; MergeLane
+// folds one into the root and resets it for reuse. Merges run on the
+// driver goroutine, lane by lane, so implementations need no locking.
+type Lane interface {
+	NewLane() Lane
+	MergeLane(Lane)
+}
+
+// laneSlot pairs a root with its lane-local instance on one Effects.
+type laneSlot struct {
+	root  Lane
+	local Lane
+}
+
 // Effects is the per-lane buffer that makes concurrent phases
 // deterministic. During a parallel phase every worker issues RPCs
-// through its own Effects value: RPC counters accumulate locally and
-// every state mutation a handler would perform is recorded as a deferred
-// closure instead of applied in place. When the phase ends, Apply
-// replays the buffers in a fixed lane order, so the merged state —
-// message counts, routing-table learns, provider-record stores, monitor
-// and Hydra logs, pending-lookup queues — is a pure function of the lane
-// decomposition, never of goroutine scheduling or worker count.
+// through its own Effects value: RPC counters accumulate locally, state
+// mutations a handler would perform are recorded as deferred closures,
+// and lane-aware roots (trace pipelines) hand out per-lane buffers via
+// Lane. When the phase ends, Apply replays the buffers in a fixed lane
+// order, so the merged state — message counts, routing-table learns,
+// provider-record stores, monitor and Hydra observation streams,
+// pending-lookup queues — is a pure function of the lane decomposition,
+// never of goroutine scheduling or worker count.
 //
 // A nil *Effects means immediate mode: Defer applies the closure on the
-// spot and counters go straight to the Network. Serial code paths
-// (world construction, single-threaded drivers, tests) use nil and
-// behave exactly as the pre-concurrency simulator did.
+// spot, counters go straight to the Network, and Lane-aware roots are
+// written directly. Serial code paths (world construction,
+// single-threaded drivers, tests) use nil and behave exactly as the
+// pre-concurrency simulator did.
 type Effects struct {
 	deferred []func()
 	counts   [msgTypeCount]int64
+	lanes    []laneSlot
+
+	// Scratch is lane-scoped reusable memory for whatever engine is
+	// running on the lane (the DHT walker keeps its candidate-set
+	// buffers here, cleared per walk instead of reallocated). Exactly
+	// one goroutine uses a lane at a time, so no synchronization is
+	// needed; an engine finding someone else's type here simply
+	// replaces it.
+	Scratch any
 }
 
 // Defer records a side effect to apply at merge time, or applies it
@@ -39,6 +67,19 @@ func (e *Effects) Pending() int {
 	return len(e.deferred)
 }
 
+// Lane returns this lane's instance of the given root, creating it on
+// first use. Callers must not hold the result across phases.
+func (e *Effects) Lane(root Lane) Lane {
+	for i := range e.lanes {
+		if e.lanes[i].root == root {
+			return e.lanes[i].local
+		}
+	}
+	l := root.NewLane()
+	e.lanes = append(e.lanes, laneSlot{root: root, local: l})
+	return l
+}
+
 // count records one RPC of type t against the lane (or the network
 // directly in immediate mode).
 func (n *Network) count(env *Effects, t MsgType) {
@@ -50,10 +91,11 @@ func (n *Network) count(env *Effects, t MsgType) {
 }
 
 // Apply merges lane buffers into the network in the given order: RPC
-// counters are summed and deferred side effects run in emission order,
-// lane by lane. Callers must pass lanes in a fixed, scheduling-
-// independent order (shard index, task index) — that ordering is the
-// whole determinism contract.
+// counters are summed, deferred side effects run in emission order, and
+// lane-aware roots merge their per-lane instances — lane by lane.
+// Callers must pass lanes in a fixed, scheduling-independent order
+// (shard index, task index) — that ordering is the whole determinism
+// contract.
 func (n *Network) Apply(envs ...*Effects) {
 	for _, e := range envs {
 		if e == nil {
@@ -65,7 +107,10 @@ func (n *Network) Apply(envs ...*Effects) {
 		for _, f := range e.deferred {
 			f()
 		}
-		e.deferred = nil
+		for i := range e.lanes {
+			e.lanes[i].root.MergeLane(e.lanes[i].local)
+		}
+		e.deferred = e.deferred[:0]
 		e.counts = [msgTypeCount]int64{}
 	}
 }
@@ -77,6 +122,10 @@ func (n *Network) Apply(envs ...*Effects) {
 // changes. During the phase the network must not be mutated directly;
 // handlers route their writes through the lane, and phase code may only
 // read shared state.
+//
+// Lane values (and their scratch and lane-local buffers) are pooled on
+// the Network and reused across phases; Fanout is a driver-side call and
+// is never invoked concurrently for one Network.
 func (n *Network) Fanout(workers int, tasks []func(env *Effects)) {
 	if len(tasks) == 0 {
 		return
@@ -87,10 +136,10 @@ func (n *Network) Fanout(workers int, tasks []func(env *Effects)) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	envs := make([]*Effects, len(tasks))
-	for i := range envs {
-		envs[i] = &Effects{}
+	for len(n.lanePool) < len(tasks) {
+		n.lanePool = append(n.lanePool, &Effects{})
 	}
+	envs := n.lanePool[:len(tasks)]
 	ParallelFor(workers, len(tasks), func(i int) { tasks[i](envs[i]) })
 	n.Apply(envs...)
 }

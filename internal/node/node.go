@@ -97,26 +97,28 @@ func (n *Node) Served() int64 { return n.served }
 
 // --- netsim.Handler ---
 
-// HandleFindNode answers a FindNode RPC. DHT clients do not serve the DHT
-// and return nothing. Servers opportunistically learn the caller if it is
+// HandleFindNode answers a FindNode RPC, appending the K closest
+// contacts onto closer. DHT clients do not serve the DHT and return
+// closer unchanged. Servers opportunistically learn the caller if it is
 // itself a server (real tables only hold DHT servers).
-func (n *Node) HandleFindNode(env *netsim.Effects, from ids.PeerID, target ids.Key) []netsim.PeerInfo {
+func (n *Node) HandleFindNode(env *netsim.Effects, from ids.PeerID, target ids.Key, closer []ids.PeerID) []ids.PeerID {
 	if !n.cfg.DHTServer {
-		return nil
+		return closer
 	}
 	n.maybeLearn(env, from)
-	return n.peerInfos(n.rt.NearestPeers(target, kademlia.K))
+	return n.rt.AppendNearest(closer, target, kademlia.K)
 }
 
 // HandleGetProviders answers a GetProviders RPC with any unexpired
-// provider records for c plus the closest contacts to c's key.
-func (n *Node) HandleGetProviders(env *netsim.Effects, from ids.PeerID, c ids.CID) ([]netsim.ProviderRecord, []netsim.PeerInfo) {
+// provider records for c plus the closest contacts to c's key, both
+// appended onto the caller's buffers.
+func (n *Node) HandleGetProviders(env *netsim.Effects, from ids.PeerID, c ids.CID, recs []netsim.ProviderRecord, closer []ids.PeerID) ([]netsim.ProviderRecord, []ids.PeerID) {
 	if !n.cfg.DHTServer {
-		return nil, nil
+		return recs, closer
 	}
 	n.maybeLearn(env, from)
-	recs := n.providers.Get(c, n.net.Clock.Now())
-	closer := n.peerInfos(n.rt.NearestPeers(c.Key(), kademlia.K))
+	recs = n.providers.AppendGet(recs, c, n.net.Clock.Now())
+	closer = n.rt.AppendNearest(closer, c.Key(), kademlia.K)
 	return recs, closer
 }
 
@@ -159,21 +161,17 @@ func (n *Node) maybeLearn(env *netsim.Effects, from ids.PeerID) {
 	})
 }
 
-func (n *Node) peerInfos(peers []ids.PeerID) []netsim.PeerInfo {
-	out := make([]netsim.PeerInfo, 0, len(peers))
-	for _, p := range peers {
-		out = append(out, n.net.Info(p))
-	}
-	return out
-}
-
 // --- DHT operations (client side) ---
 
 // seedInfos converts the routing table's closest peers to a target into
-// walk seeds; falls back to the whole table when nearly empty.
+// walk seeds.
 func (n *Node) seedInfos(target ids.Key) []netsim.PeerInfo {
 	seeds := n.rt.NearestPeers(target, kademlia.K)
-	return n.peerInfos(seeds)
+	out := make([]netsim.PeerInfo, 0, len(seeds))
+	for _, p := range seeds {
+		out = append(out, n.net.Info(p))
+	}
+	return out
 }
 
 // Bootstrap joins the DHT: starting from the given bootstrap peers, the

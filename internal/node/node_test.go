@@ -273,10 +273,10 @@ func TestDHTClientDoesNotServe(t *testing.T) {
 	net.Attach(clientID, client, netsim.HostConfig{Reachable: true})
 	client.LearnPeer(nodes[0].ID(), 0)
 
-	if got := client.HandleFindNode(nil, nodes[0].ID(), ids.KeyFromUint64(0)); got != nil {
+	if got := client.HandleFindNode(nil, nodes[0].ID(), ids.KeyFromUint64(0), nil); got != nil {
 		t.Error("DHT client answered FindNode")
 	}
-	recs, closer := client.HandleGetProviders(nil, nodes[0].ID(), ids.CIDFromSeed(1))
+	recs, closer := client.HandleGetProviders(nil, nodes[0].ID(), ids.CIDFromSeed(1), nil, nil)
 	if recs != nil || closer != nil {
 		t.Error("DHT client answered GetProviders")
 	}
@@ -293,7 +293,7 @@ func TestServerLearnsCallers(t *testing.T) {
 	if a.RoutingTable().Contains(b.ID()) {
 		t.Fatal("setup: remove failed")
 	}
-	a.HandleFindNode(nil, b.ID(), ids.KeyFromUint64(0))
+	a.HandleFindNode(nil, b.ID(), ids.KeyFromUint64(0), nil)
 	if !a.RoutingTable().Contains(b.ID()) {
 		t.Error("server did not learn reachable caller")
 	}

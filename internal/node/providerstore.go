@@ -57,24 +57,36 @@ func (s *ProviderStore) Put(c ids.CID, rec netsim.ProviderRecord) {
 // Expire — so concurrent lookups from parallel walk lanes never mutate
 // the store. Order is deterministic (ascending provider key).
 func (s *ProviderStore) Get(c ids.CID, now netsim.Time) []netsim.ProviderRecord {
-	m := s.recs[c]
-	if len(m) == 0 {
+	if len(s.recs[c]) == 0 {
 		return nil
 	}
-	out := make([]netsim.ProviderRecord, 0, len(m))
+	return s.AppendGet(nil, c, now)
+}
+
+// AppendGet is Get appending onto dst (append-style): the RPC handlers
+// use it with the caller's reusable response buffer, so answering
+// GetProviders allocates nothing. Appended records are sorted by
+// provider key among themselves.
+func (s *ProviderStore) AppendGet(dst []netsim.ProviderRecord, c ids.CID, now netsim.Time) []netsim.ProviderRecord {
+	m := s.recs[c]
+	if len(m) == 0 {
+		return dst
+	}
+	start := len(dst)
 	for _, rec := range m {
 		if now-rec.Received >= s.ttl {
 			continue
 		}
-		out = append(out, rec)
+		dst = append(dst, rec)
 	}
 	// Deterministic ordering for the single-threaded simulator.
+	out := dst[start:]
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j].Provider.ID.Key().Cmp(out[j-1].Provider.ID.Key()) < 0; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return out
+	return dst
 }
 
 // Expire prunes every expired record.

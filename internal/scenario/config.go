@@ -96,6 +96,15 @@ type Config struct {
 	// CloudflareGatewayNodes is the overlay-node count of the big CDN
 	// gateway.
 	CloudflareGatewayNodes int
+
+	// RetainTrace keeps the raw event logs of the monitoring vantage
+	// points (Bitswap monitor, vantage Hydra) behind Monitor.Log() /
+	// Hydra.Log(). Off by default: every analysis folds into the
+	// streaming trace.Accum as events happen, and retaining the full
+	// trace of a default-scale campaign costs gigabytes. Enable it for
+	// consumers that genuinely need raw events (event-level diffing,
+	// external tooling, the sink-vs-log equivalence suite).
+	RetainTrace bool
 }
 
 // DefaultConfig returns the laptop-scale calibration used by the
@@ -160,9 +169,14 @@ func DefaultConfig() Config {
 	}
 }
 
-// Scaled returns a copy of the config with population and traffic scaled
-// by f (0 < f <= ~2), for quick tests and sweeps.
+// Scaled returns a deep copy of the config with population and traffic
+// scaled by f — the Clone-based scaling hook behind both the -scale flag
+// and the scale.* scenario presets. Populations, content volume, request
+// rate and the gateway ecosystem scale together; per-node behaviour
+// (churn rates, traffic mix, Hydra sizing) is intensive and stays fixed,
+// so every reported share remains calibrated at any scale.
 func (c Config) Scaled(f float64) Config {
+	c = c.Clone()
 	scale := func(n int) int {
 		v := int(float64(n) * f)
 		if v < 1 {

@@ -56,14 +56,27 @@ const PlatformLabelOther = "other"
 // unattributable AWS traffic in its own bucket.
 func (w *World) PlatformOf(e trace.Event) string {
 	if w.IsHydraHead(e.Peer) {
-		return "hydra"
+		return PlatformLabelHydra
 	}
-	if host := w.DNS.RDNS(e.IP); host != "" {
+	return w.PlatformOfIP(e.IP)
+}
+
+// PlatformLabelHydra is the Fig. 13 bucket for Hydra-head senders,
+// attributed by overlay identity (the TagPeer predicate of the vantage
+// pipelines) rather than by IP.
+const PlatformLabelHydra = "hydra"
+
+// PlatformOfIP is the IP half of the Fig. 13 attribution: reverse DNS
+// first, then the unattributable-AWS bucket, then "other". Streaming
+// analyses apply it to the untagged traffic of a trace.Accum, with
+// tagged (Hydra-head) traffic pooled under PlatformLabelHydra.
+func (w *World) PlatformOfIP(ip netip.Addr) string {
+	if host := w.DNS.RDNS(ip); host != "" {
 		if p := dnssim.PlatformFromHostname(host); p != "" {
 			return p
 		}
 	}
-	if w.DB.Lookup(e.IP).Provider == ipdb.AmazonAWS {
+	if w.DB.Lookup(ip).Provider == ipdb.AmazonAWS {
 		return PlatformLabelUnknownAWS
 	}
 	return PlatformLabelOther

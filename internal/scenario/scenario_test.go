@@ -71,8 +71,8 @@ func TestWorldDeterminism(t *testing.T) {
 		t.Fatalf("traffic differs after one tick: %d vs %d",
 			w1.Net.TotalMessages(), w2.Net.TotalMessages())
 	}
-	if w1.Monitor.Log().Len() != w2.Monitor.Log().Len() {
-		t.Fatal("monitor logs differ")
+	if w1.Monitor.Stats().Len() != w2.Monitor.Stats().Len() {
+		t.Fatal("monitor streams differ")
 	}
 }
 
@@ -117,13 +117,13 @@ func TestTrafficGeneratesLogs(t *testing.T) {
 	w := NewWorld(testConfig())
 	w.RunDays(1, nil)
 
-	if w.Monitor.Log().Len() == 0 {
+	if w.Monitor.Stats().Len() == 0 {
 		t.Error("monitor saw no Bitswap traffic")
 	}
-	if w.Hydra.Log().Len() == 0 {
+	if w.Hydra.Stats().Len() == 0 {
 		t.Error("hydra saw no DHT traffic")
 	}
-	mix := w.Hydra.Log().Mix()
+	mix := w.Hydra.Stats().Mix()
 	if mix[0]+mix[1]+mix[2] == 0 {
 		t.Error("hydra mix empty")
 	}

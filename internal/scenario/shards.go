@@ -35,9 +35,20 @@ type shardView struct {
 }
 
 // shardViews partitions the current population. Rebuilt per phase group
-// (O(population) appends) so planners see post-churn membership.
+// (O(population) appends) so planners see post-churn membership. The
+// backing arrays live on the world and are reused across rebuilds — a
+// rebuild invalidates the previous result, which is fine: each tick
+// phase consumes its views before the next rebuild.
 func (w *World) shardViews() []shardView {
-	views := make([]shardView, Shards)
+	if w.viewsBuf == nil {
+		w.viewsBuf = make([]shardView, Shards)
+	}
+	views := w.viewsBuf
+	for s := range views {
+		views[s].actors = views[s].actors[:0]
+		views[s].clients = views[s].clients[:0]
+		views[s].servers = views[s].servers[:0]
+	}
 	for i, id := range w.order {
 		s := i % Shards
 		views[s].actors = append(views[s].actors, id)

@@ -17,6 +17,7 @@ import (
 	"tcsb/internal/netsim"
 	"tcsb/internal/node"
 	"tcsb/internal/stats"
+	"tcsb/internal/trace"
 )
 
 // Platform labels for the actors the paper identifies in Fig. 13.
@@ -114,6 +115,9 @@ type World struct {
 	tick    int
 	peerSeq uint64
 	cidSeq  uint64
+
+	// viewsBuf backs shardViews (reused across tick phases).
+	viewsBuf []shardView
 }
 
 // NewWorld builds the world: population, topology, platforms, gateways,
@@ -344,7 +348,10 @@ func (w *World) actorOf(nd *node.Node) *Actor { return w.Actors[nd.ID()] }
 
 func (w *World) buildMonitor() {
 	id := w.nextPeerID()
-	w.Monitor = monitor.New(id, w.Net)
+	w.Monitor = monitor.NewWithPipeline(id, w.Net, trace.NewPipeline(trace.Options{
+		Retain:  w.Cfg.RetainTrace,
+		TagPeer: w.IsHydraHead,
+	}))
 	ip := w.Alloc.ResidentialIP("DE") // the paper's vantage point: Germany
 	w.Net.Attach(id, w.Monitor, netsim.HostConfig{
 		Reachable:        true,
@@ -362,6 +369,14 @@ const PlatformHydra = "hydra-booster.io"
 // whose cache-filling lookups make "hydra" dominate download-related DHT
 // traffic at the vantage point (Fig. 13). All are AWS-hosted, per the
 // paper.
+//
+// Observation pipelines: the vantage streams into a trace.Accum whose
+// analysis view excludes the observatory's own crawler and collector
+// identities (the authors exclude their tools from the logs) and tags
+// Hydra-head senders for the Fig. 13 identity attribution; raw events
+// are retained only under Cfg.RetainTrace. The production boosters get
+// discarding pipelines — nothing ever reads their logs, and a
+// default-scale campaign would otherwise retain gigabytes of them.
 func (w *World) buildHydra() {
 	attach := func(h *hydra.Hydra) {
 		for _, head := range h.Heads() {
@@ -373,15 +388,24 @@ func (w *World) buildHydra() {
 			w.DNS.RegisterRDNS(ip, dnssim.FormatPTR(ip, PlatformHydra))
 		}
 	}
+	crawlerID, collectorID := w.CrawlerID(), w.CollectorID()
 	w.Hydra = hydra.New(w.Net, uint64(w.Cfg.Seed)<<40+0x4d9a, hydra.Config{
 		Heads:            w.Cfg.HydraHeads,
 		ProactiveLookups: w.Cfg.HydraProactiveLookups,
+		Pipe: trace.NewPipeline(trace.Options{
+			Retain:  w.Cfg.RetainTrace,
+			TagPeer: w.IsHydraHead,
+			Keep: func(e trace.Event) bool {
+				return e.Peer != crawlerID && e.Peer != collectorID
+			},
+		}),
 	})
 	attach(w.Hydra)
 	for i := 0; i < w.Cfg.PLHydraCount; i++ {
 		h := hydra.New(w.Net, uint64(w.Cfg.Seed)<<40+0x77e0+uint64(i)*0x1000, hydra.Config{
 			Heads:            w.Cfg.HydraHeads,
 			ProactiveLookups: true,
+			Pipe:             trace.NewPipeline(trace.Options{Discard: true}),
 		})
 		attach(h)
 		w.PLHydras = append(w.PLHydras, h)
@@ -389,9 +413,10 @@ func (w *World) buildHydra() {
 }
 
 // IsHydraHead reports whether p belongs to any Hydra deployment
-// (vantage or Protocol Labs).
+// (vantage or Protocol Labs). It is also the TagPeer predicate of the
+// vantage pipelines (nil-safe: the monitor is built before the Hydra).
 func (w *World) IsHydraHead(p ids.PeerID) bool {
-	if w.Hydra.IsHead(p) {
+	if w.Hydra != nil && w.Hydra.IsHead(p) {
 		return true
 	}
 	for _, h := range w.PLHydras {

@@ -81,6 +81,16 @@ func SmallObservatory(seed int64, workers int) *core.Observatory {
 	return cachedObservatory("small", seed, workers, SmallConfig(seed), SmallRunConfig())
 }
 
+// SmallRetainedObservatory is SmallObservatory with RetainTrace on: the
+// raw vantage logs exist alongside the streaming statistics, which is
+// what event-level determinism tests and the sink-vs-log equivalence
+// suite need.
+func SmallRetainedObservatory(seed int64, workers int) *core.Observatory {
+	rc := SmallRunConfig()
+	rc.RetainTrace = true
+	return cachedObservatory("small-retained", seed, workers, SmallConfig(seed), rc)
+}
+
 // MediumObservatory returns the process-cached medium campaign.
 func MediumObservatory(seed int64, workers int) *core.Observatory {
 	return cachedObservatory("medium", seed, workers, MediumConfig(seed), MediumRunConfig())

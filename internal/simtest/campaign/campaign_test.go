@@ -25,8 +25,10 @@ func TestObservatoryFixtureWorkerIndependence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds two observation campaigns")
 	}
-	serial := SmallObservatory(3, 1)
-	pooled := SmallObservatory(3, 4)
+	// Retained fixtures: the event-by-event comparison below needs the
+	// raw logs, which streaming campaigns deliberately do not keep.
+	serial := SmallRetainedObservatory(3, 1)
+	pooled := SmallRetainedObservatory(3, 4)
 	if serial == pooled {
 		t.Fatal("distinct worker counts must build distinct fixtures")
 	}

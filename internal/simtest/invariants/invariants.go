@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"tcsb/internal/core"
+	"tcsb/internal/ids"
 	"tcsb/internal/scenario"
 	"tcsb/internal/trace"
 )
@@ -103,13 +104,15 @@ func CheckWorld(w *scenario.World) []Violation {
 func CheckObservatory(o *core.Observatory) []Violation {
 	vs := violations(CheckWorld(o.World))
 
-	// traffic-mix-partition: the class shares of a non-empty log sum to 1
-	// and each lies in [0, 1] — the categories partition the traffic.
-	checkMix := func(label string, log *trace.Log) {
-		if log.Len() == 0 {
+	// traffic-mix-partition: the class shares of a non-empty stream sum
+	// to 1 and each lies in [0, 1] — the categories partition the
+	// traffic. Checked on the streaming statistics, which exist in both
+	// retained and streaming-only campaigns.
+	checkMix := func(label string, st *trace.Accum) {
+		if st == nil || st.Len() == 0 {
 			return
 		}
-		mix := log.Mix()
+		mix := st.Mix()
 		sum := 0.0
 		for cl, share := range mix {
 			sum += share
@@ -122,8 +125,8 @@ func CheckObservatory(o *core.Observatory) []Violation {
 			vs.addf("traffic-mix-partition", "%s: shares sum to %v, want 1", label, sum)
 		}
 	}
-	checkMix("hydra vantage log", o.HydraLog)
-	checkMix("bitswap monitor log", o.World.Monitor.Log())
+	checkMix("hydra vantage stats", o.HydraStats())
+	checkMix("bitswap monitor stats", o.MonitorStats())
 
 	// crawl-containment: a crawl can never crawl more peers than it
 	// discovered, and every crawlable peer answered from >= 1 address.
@@ -147,14 +150,27 @@ func CheckObservatory(o *core.Observatory) []Violation {
 		}
 	}
 
-	// vantage-purity: the analysis log must exclude the observatory's own
-	// measurement identities, as the authors exclude their tools.
+	// vantage-purity: the analysis view must exclude the observatory's
+	// own measurement identities, as the authors exclude their tools.
 	crawlerID, collectorID := o.World.CrawlerID(), o.World.CollectorID()
-	for _, e := range o.HydraLog.Events() {
-		if e.Peer == crawlerID || e.Peer == collectorID {
-			vs.addf("vantage-purity", "hydra log contains measurement traffic from %s",
-				e.Peer.Short())
-			break
+	if st := o.HydraStats(); st != nil {
+		for _, id := range []struct {
+			label string
+			peer  ids.PeerID
+		}{{"crawler", crawlerID}, {"collector", collectorID}} {
+			if st.SeenPeer(id.peer) {
+				vs.addf("vantage-purity", "hydra analysis stats contain %s traffic from %s",
+					id.label, id.peer.Short())
+			}
+		}
+	}
+	if log := o.HydraLog; log != nil {
+		for _, e := range log.Events() {
+			if e.Peer == crawlerID || e.Peer == collectorID {
+				vs.addf("vantage-purity", "filtered hydra log contains measurement traffic from %s",
+					e.Peer.Short())
+				break
+			}
 		}
 	}
 

@@ -15,18 +15,36 @@ import (
 // small fixture shape (scale 0.08, one simulated day) built fresh per
 // (seed, intervention) with a multi-worker pool, so the suite doubles
 // as a concurrency exercise under -race.
+//
+// Worlds are built with RetainTrace so every campaign carries both the
+// streaming accumulators and the raw logs: alongside the conservation
+// laws, checkAll pins the sink-vs-log equivalence property — streaming
+// results must equal batch results — on the baseline and on every
+// intervention world.
 
 const seeds = 5
+
+// retainedConfig is the small fixture config with raw-trace retention
+// on from world construction (equivalence needs both views complete).
+func retainedConfig(seed int64) scenario.Config {
+	cfg := campaign.SmallConfig(seed)
+	cfg.RetainTrace = true
+	return cfg
+}
 
 func observeWorld(w *scenario.World) *core.Observatory {
 	rc := campaign.SmallRunConfig()
 	rc.Workers = 2
+	rc.RetainTrace = true
 	return core.ObserveWorld(w, rc)
 }
 
 func checkAll(t *testing.T, label string, o *core.Observatory) {
 	t.Helper()
 	for _, v := range CheckObservatory(o) {
+		t.Errorf("%s: %s", label, v)
+	}
+	for _, v := range CheckStreamingEquivalence(o) {
 		t.Errorf("%s: %s", label, v)
 	}
 }
@@ -39,7 +57,7 @@ func TestInvariantsBaseline(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			w := scenario.NewWorld(campaign.SmallConfig(seed))
+			w := scenario.NewWorld(retainedConfig(seed))
 			checkAll(t, "baseline", observeWorld(w))
 		})
 	}
@@ -56,7 +74,7 @@ func TestInvariantsInterventions(t *testing.T) {
 				seed := seed
 				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 					t.Parallel()
-					w := counterfactual.BuildWorld(campaign.SmallConfig(seed), []counterfactual.Intervention{iv})
+					w := counterfactual.BuildWorld(retainedConfig(seed), []counterfactual.Intervention{iv})
 					checkAll(t, iv.Name, observeWorld(w))
 				})
 			}
@@ -74,7 +92,7 @@ func TestInvariantsComposedIntervention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := counterfactual.BuildWorld(campaign.SmallConfig(3), ivs)
+	w := counterfactual.BuildWorld(retainedConfig(3), ivs)
 	if w.PinnedOfflineCount() == 0 {
 		t.Fatal("composed intervention did not bite")
 	}

@@ -1,0 +1,509 @@
+package trace
+
+import (
+	"math/bits"
+	"net/netip"
+	"sort"
+
+	"tcsb/internal/ids"
+	"tcsb/internal/netsim"
+)
+
+// Sink consumes traffic events one at a time. It is the streaming
+// counterpart of Log: where a Log materializes every event for later
+// scanning, a Sink folds each event into bounded state as it happens.
+// Sinks are fed serially — either immediately (serial simulation mode)
+// or at the deterministic lane merge of a netsim Fanout phase — so
+// implementations never need internal locking.
+type Sink interface {
+	Observe(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface (used for taps, e.g.
+// the gateway prober watching for its planted CID).
+type SinkFunc func(Event)
+
+// Observe calls f(e).
+func (f SinkFunc) Observe(e Event) { f(e) }
+
+// Options configure a Pipeline.
+type Options struct {
+	// Retain keeps the raw event slice behind Log(). Off by default in
+	// campaign worlds: the full trace of a default-scale campaign costs
+	// gigabytes, and every analysis of the paper folds into the Accum.
+	// Consumers that genuinely need raw events (external tooling,
+	// event-level diffing) opt in via scenario.Config.RetainTrace /
+	// core.RunConfig.RetainTrace.
+	Retain bool
+	// Keep filters which events reach the statistics Accum (and taps).
+	// Events failing Keep are still retained in the raw log when Retain
+	// is set — retention is the ground truth, the Accum is the analysis
+	// view (e.g. the Hydra vantage excludes the observatory's own
+	// crawler and collector identities, as the authors exclude their
+	// tools). nil keeps everything.
+	Keep func(Event) bool
+	// TagPeer marks senders that analyses attribute by overlay identity
+	// rather than by source IP (the Fig. 13 "hydra" bucket: Hydra heads
+	// are identified by peer ID, everything else by rDNS over the IP).
+	// The Accum keeps tagged traffic separately so identity-attributed
+	// shares can be reconstructed without the raw events. nil tags
+	// nothing.
+	TagPeer func(ids.PeerID) bool
+	// Discard drops everything: no log, no statistics. Used for vantage
+	// points nothing ever reads (the Protocol Labs production Hydras'
+	// logs), where even bounded accumulation is waste.
+	Discard bool
+}
+
+// Pipeline is the observation endpoint a monitoring vantage point
+// (Bitswap monitor, Hydra logger) writes its events to. It fans each
+// event into the streaming Accum, the optionally retained raw Log, and
+// any attached taps.
+//
+// Determinism: in serial mode handlers call Observe directly. During a
+// concurrent netsim Fanout phase, handlers write to a per-lane buffer
+// obtained with Via(env); netsim applies the buffers in fixed lane
+// order, so the pipeline sees exactly the event sequence the serial
+// engine would produce — the retained log is byte-identical and the
+// Accum contents are identical for every worker count.
+type Pipeline struct {
+	opts Options
+	log  *Log
+	acc  *Accum
+	taps []*tapEntry
+}
+
+// tapEntry wraps an attached sink behind a comparable identity so taps
+// holding uncomparable sinks (SinkFunc closures) can still be detached.
+type tapEntry struct{ s Sink }
+
+// NewPipeline creates a pipeline with the given options.
+func NewPipeline(opts Options) *Pipeline {
+	p := &Pipeline{opts: opts}
+	if opts.Discard {
+		return p
+	}
+	if opts.Retain {
+		p.log = &Log{}
+	}
+	p.acc = newAccum(opts.TagPeer)
+	return p
+}
+
+// Active reports whether observing an event has any effect. Vantage
+// points check it before building an event at all (address resolution
+// for a discarded event would be pure waste).
+func (p *Pipeline) Active() bool {
+	return p != nil && (p.acc != nil || p.log != nil || len(p.taps) > 0)
+}
+
+// Observe feeds one event through the pipeline (serial mode).
+func (p *Pipeline) Observe(e Event) {
+	if p.log != nil {
+		p.log.Append(e)
+	}
+	if p.opts.Keep != nil && !p.opts.Keep(e) {
+		return
+	}
+	if p.acc != nil {
+		p.acc.Observe(e)
+	}
+	for _, t := range p.taps {
+		t.s.Observe(e)
+	}
+}
+
+// Via returns the sink a handler must write to when running on the
+// given Effects lane: the pipeline itself in serial mode (env == nil),
+// or a lane-local buffer that netsim merges into the pipeline in fixed
+// lane order when the phase ends.
+func (p *Pipeline) Via(env *netsim.Effects) Sink {
+	if env == nil {
+		return p
+	}
+	return env.Lane(p).(*pipeLane)
+}
+
+// Log returns the retained raw event log, or nil when retention is off.
+func (p *Pipeline) Log() *Log { return p.log }
+
+// Stats returns the streaming accumulator (nil for a discarding
+// pipeline). The accumulator reflects every event observed so far that
+// passed the Keep filter.
+func (p *Pipeline) Stats() *Accum { return p.acc }
+
+// EnableRetention switches raw-event retention on from this point
+// forward. Events observed earlier are not recoverable; campaigns that
+// need the full trace set retention before world construction (via
+// scenario.Config.RetainTrace).
+func (p *Pipeline) EnableRetention() {
+	if p.log == nil {
+		p.log = &Log{}
+	}
+	p.opts.Retain = true
+}
+
+// Tap attaches an additional sink and returns its detach function.
+// Taps see events that pass the Keep filter, in observation order. They
+// are meant for short-lived, serial-mode captures (the gateway prober);
+// attaching a tap during a concurrent phase is not supported.
+func (p *Pipeline) Tap(s Sink) (remove func()) {
+	entry := &tapEntry{s: s}
+	p.taps = append(p.taps, entry)
+	return func() {
+		for i, t := range p.taps {
+			if t == entry {
+				p.taps = append(p.taps[:i], p.taps[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// pipeLane is the lane-local buffer of a pipeline during a concurrent
+// phase: handlers append events race-free, and the netsim merge replays
+// them into the root pipeline in lane order.
+type pipeLane struct {
+	root   *Pipeline
+	events []Event
+}
+
+// Observe buffers the event for the merge.
+func (l *pipeLane) Observe(e Event) { l.events = append(l.events, e) }
+
+// NewLane creates an empty lane buffer (netsim.Lane).
+func (p *Pipeline) NewLane() netsim.Lane { return &pipeLane{root: p} }
+
+// MergeLane replays a lane buffer into the pipeline and resets it for
+// reuse (netsim.Lane).
+func (p *Pipeline) MergeLane(lane netsim.Lane) {
+	l := lane.(*pipeLane)
+	for _, e := range l.events {
+		p.Observe(e)
+	}
+	l.events = l.events[:0]
+}
+
+// NewLane on a lane buffer is never used (lanes are one level deep);
+// it exists to satisfy netsim.Lane.
+func (l *pipeLane) NewLane() netsim.Lane { return &pipeLane{root: l.root} }
+
+// MergeLane on a lane buffer is never used; see NewLane.
+func (l *pipeLane) MergeLane(lane netsim.Lane) { l.root.MergeLane(lane) }
+
+// --- Streaming accumulator ---
+
+// daySet is a small set of virtual day indices: a bitmask for days
+// 0..63 (every realistic campaign) with a map spill for longer runs.
+type daySet struct {
+	mask uint64
+	hi   map[int64]struct{}
+}
+
+func (d *daySet) add(day int64) {
+	if day >= 0 && day < 64 {
+		d.mask |= 1 << uint(day)
+		return
+	}
+	if d.hi == nil {
+		d.hi = make(map[int64]struct{}, 1)
+	}
+	d.hi[day] = struct{}{}
+}
+
+func (d *daySet) count() int { return bits.OnesCount64(d.mask) + len(d.hi) }
+
+func (d *daySet) has(day int64) bool {
+	if day >= 0 && day < 64 {
+		return d.mask&(1<<uint(day)) != 0
+	}
+	_, ok := d.hi[day]
+	return ok
+}
+
+// Accum is the streaming reduction of an event stream: every analysis
+// the paper derives from a vantage-point log (protocol mix, per-peer and
+// per-IP activity, days-seen frequency, unique-IP and traffic shares per
+// class, identity-tagged platform shares, daily CID sets) folds into
+// this bounded state, event by event. For any event sequence, every
+// Accum-derived result equals the corresponding Log-derived batch result
+// — the sink-vs-log equivalence property pinned by
+// internal/simtest/invariants.
+//
+// Memory is bounded by the number of distinct identifiers (peers, IPs,
+// CIDs, days), not by traffic volume — the refactoring that makes
+// 10x-scale campaigns memory-feasible.
+type Accum struct {
+	tagPeer func(ids.PeerID) bool
+
+	n     int64
+	class [classCount]int64
+
+	byPeer map[ids.PeerID]int64
+	// byIP counts valid-IP events per class; noIP counts the rest.
+	byIP [classCount]map[netip.Addr]int64
+	noIP [classCount]int64
+	// tagByIP / tagNoIP are the tagged-sender sub-counts of byIP / noIP.
+	tagByIP [classCount]map[netip.Addr]int64
+	tagNoIP [classCount]int64
+
+	cidDays  map[ids.CID]daySet
+	ipDays   map[netip.Addr]daySet
+	peerDays map[ids.PeerID]daySet
+	days     map[int64]struct{}
+}
+
+func newAccum(tagPeer func(ids.PeerID) bool) *Accum {
+	a := &Accum{
+		tagPeer:  tagPeer,
+		byPeer:   make(map[ids.PeerID]int64),
+		cidDays:  make(map[ids.CID]daySet),
+		ipDays:   make(map[netip.Addr]daySet),
+		peerDays: make(map[ids.PeerID]daySet),
+		days:     make(map[int64]struct{}),
+	}
+	for c := 0; c < int(classCount); c++ {
+		a.byIP[c] = make(map[netip.Addr]int64)
+		a.tagByIP[c] = make(map[netip.Addr]int64)
+	}
+	return a
+}
+
+// NewAccum creates a standalone accumulator (no tagged senders). Most
+// callers obtain one through a Pipeline instead.
+func NewAccum() *Accum { return newAccum(nil) }
+
+// Observe folds one event into the accumulator (Sink).
+func (a *Accum) Observe(e Event) {
+	a.n++
+	cl := e.Class()
+	a.class[cl]++
+
+	tagged := a.tagPeer != nil && a.tagPeer(e.Peer)
+	if e.IP.IsValid() {
+		a.byIP[cl][e.IP]++
+		if tagged {
+			a.tagByIP[cl][e.IP]++
+		}
+	} else {
+		a.noIP[cl]++
+		if tagged {
+			a.tagNoIP[cl]++
+		}
+	}
+	a.byPeer[e.Peer]++
+
+	day := e.Time / SecondsPerDay
+	a.days[day] = struct{}{}
+	if !e.CID.IsZero() {
+		ds := a.cidDays[e.CID]
+		ds.add(day)
+		a.cidDays[e.CID] = ds
+	}
+	if e.IP.IsValid() {
+		ds := a.ipDays[e.IP]
+		ds.add(day)
+		a.ipDays[e.IP] = ds
+	}
+	if !e.Peer.IsZero() {
+		ds := a.peerDays[e.Peer]
+		ds.add(day)
+		a.peerDays[e.Peer] = ds
+	}
+}
+
+// Len returns the number of events folded in.
+func (a *Accum) Len() int { return int(a.n) }
+
+// SeenPeer reports whether any folded event came from p.
+func (a *Accum) SeenPeer(p ids.PeerID) bool {
+	_, ok := a.byPeer[p]
+	return ok
+}
+
+// DistinctPeers returns the number of distinct senders observed.
+func (a *Accum) DistinctPeers() int { return len(a.byPeer) }
+
+// Mix returns the per-class traffic shares, exactly as Log.Mix would
+// over the same events: only classes that occurred appear as keys.
+func (a *Accum) Mix() map[Class]float64 {
+	out := make(map[Class]float64, classCount)
+	if a.n == 0 {
+		return out
+	}
+	for c := 0; c < int(classCount); c++ {
+		if a.class[c] > 0 {
+			out[Class(c)] = float64(a.class[c]) / float64(a.n)
+		}
+	}
+	return out
+}
+
+// ActivityByPeer returns a copy of the per-peer message counts.
+func (a *Accum) ActivityByPeer() map[ids.PeerID]int64 {
+	out := make(map[ids.PeerID]int64, len(a.byPeer))
+	for p, n := range a.byPeer {
+		out[p] = n
+	}
+	return out
+}
+
+// ActivityByIP returns per-IP message counts over all classes
+// (valid-IP events only, like Log.ActivityByIP).
+func (a *Accum) ActivityByIP() map[netip.Addr]int64 {
+	size := 0
+	for c := 0; c < int(classCount); c++ {
+		size += len(a.byIP[c])
+	}
+	out := make(map[netip.Addr]int64, size)
+	for c := 0; c < int(classCount); c++ {
+		for ip, n := range a.byIP[c] {
+			out[ip] += n
+		}
+	}
+	return out
+}
+
+// GroupShareByIP computes each group's share of total traffic where the
+// group of an event is attr(e.IP) — the Accum equivalent of
+// Log.GroupShare with an IP-only grouping (invalid-IP events group under
+// attr of the zero Addr, exactly as the batch path does).
+func (a *Accum) GroupShareByIP(attr func(netip.Addr) string) map[string]float64 {
+	counts := make(map[string]float64)
+	for c := 0; c < int(classCount); c++ {
+		a.accumulateClassShare(Class(c), attr, counts)
+	}
+	return divideBy(counts, float64(a.n))
+}
+
+// ClassGroupShareByIP is GroupShareByIP restricted to one traffic class
+// (the Fig. 12 per-class traffic shares), with the class total as the
+// denominator — equivalent to Filter(class).GroupShare(attr ∘ IP).
+func (a *Accum) ClassGroupShareByIP(cl Class, attr func(netip.Addr) string) map[string]float64 {
+	counts := make(map[string]float64)
+	a.accumulateClassShare(cl, attr, counts)
+	return divideBy(counts, float64(a.class[cl]))
+}
+
+func (a *Accum) accumulateClassShare(cl Class, attr func(netip.Addr) string, counts map[string]float64) {
+	for ip, n := range a.byIP[cl] {
+		counts[attr(ip)] += float64(n)
+	}
+	if n := a.noIP[cl]; n > 0 {
+		counts[attr(netip.Addr{})] += float64(n)
+	}
+}
+
+// UniqueIPShare computes each group's share of distinct IPs over all
+// classes, equivalent to Log.UniqueIPShare.
+func (a *Accum) UniqueIPShare(attr func(netip.Addr) string) map[string]float64 {
+	counts := make(map[string]float64)
+	total := 0.0
+	for ip := range a.ipDays {
+		counts[attr(ip)]++
+		total++
+	}
+	return divideBy(counts, total)
+}
+
+// ClassUniqueIPShare computes each group's share of the distinct IPs
+// seen in one traffic class — Filter(class).UniqueIPShare(attr).
+func (a *Accum) ClassUniqueIPShare(cl Class, attr func(netip.Addr) string) map[string]float64 {
+	counts := make(map[string]float64)
+	total := 0.0
+	for ip := range a.byIP[cl] {
+		counts[attr(ip)]++
+		total++
+	}
+	return divideBy(counts, total)
+}
+
+// TaggedGroupShareByIP computes traffic shares with tagged senders
+// pooled under tagLabel and everything else grouped by attr(IP) — the
+// Fig. 13 platform attribution (tagLabel = "hydra"), equivalent to
+// Log.GroupShare(PlatformOf) when PlatformOf returns tagLabel exactly
+// for tagged senders and attr(e.IP) otherwise.
+func (a *Accum) TaggedGroupShareByIP(tagLabel string, attr func(netip.Addr) string) map[string]float64 {
+	counts := make(map[string]float64)
+	for c := 0; c < int(classCount); c++ {
+		a.accumulateTaggedShare(Class(c), tagLabel, attr, counts)
+	}
+	return divideBy(counts, float64(a.n))
+}
+
+// ClassTaggedGroupShareByIP is TaggedGroupShareByIP restricted to one
+// traffic class.
+func (a *Accum) ClassTaggedGroupShareByIP(cl Class, tagLabel string, attr func(netip.Addr) string) map[string]float64 {
+	counts := make(map[string]float64)
+	a.accumulateTaggedShare(cl, tagLabel, attr, counts)
+	return divideBy(counts, float64(a.class[cl]))
+}
+
+func (a *Accum) accumulateTaggedShare(cl Class, tagLabel string, attr func(netip.Addr) string, counts map[string]float64) {
+	var tagged int64
+	for ip, n := range a.byIP[cl] {
+		t := a.tagByIP[cl][ip]
+		tagged += t
+		if rest := n - t; rest > 0 {
+			counts[attr(ip)] += float64(rest)
+		}
+	}
+	tagged += a.tagNoIP[cl]
+	if rest := a.noIP[cl] - a.tagNoIP[cl]; rest > 0 {
+		counts[attr(netip.Addr{})] += float64(rest)
+	}
+	if tagged > 0 {
+		counts[tagLabel] += float64(tagged)
+	}
+}
+
+// DaysSeenByCID returns the Fig. 9 days-seen histogram over CIDs:
+// hist[d] = number of CIDs observed on exactly d distinct days.
+func (a *Accum) DaysSeenByCID() map[int]int { return daysHist(a.cidDays) }
+
+// DaysSeenByIP returns the days-seen histogram over source IPs.
+func (a *Accum) DaysSeenByIP() map[int]int { return daysHist(a.ipDays) }
+
+// DaysSeenByPeer returns the days-seen histogram over sender peer IDs.
+func (a *Accum) DaysSeenByPeer() map[int]int { return daysHist(a.peerDays) }
+
+func daysHist[K comparable](m map[K]daySet) map[int]int {
+	hist := make(map[int]int)
+	for _, ds := range m {
+		hist[ds.count()]++
+	}
+	return hist
+}
+
+// Days returns the distinct virtual day indices observed, ascending.
+func (a *Accum) Days() []int64 {
+	out := make([]int64, 0, len(a.days))
+	for d := range a.days {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CIDsOnDay returns the distinct non-zero CIDs observed on the given
+// virtual day, sorted by key — the input of the daily-sample pipeline.
+func (a *Accum) CIDsOnDay(day int64) []ids.CID {
+	var out []ids.CID
+	for c, ds := range a.cidDays {
+		if ds.has(day) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key().Cmp(out[j].Key()) < 0 })
+	return out
+}
+
+func divideBy(m map[string]float64, total float64) map[string]float64 {
+	if total == 0 {
+		return m
+	}
+	for k := range m {
+		m[k] /= total
+	}
+	return m
+}

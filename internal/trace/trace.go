@@ -84,13 +84,25 @@ func (l *Log) Append(e Event) { l.events = append(l.events, e) }
 // Len returns the number of events.
 func (l *Log) Len() int { return len(l.events) }
 
-// Events returns the underlying events (not a copy; treat as read-only).
+// Events returns the underlying event slice — NOT a copy. The result
+// aliases the log's backing array: callers must treat it as read-only,
+// and a later Append may either grow that same array in place or move
+// the log to a new one, so the snapshot is only guaranteed complete at
+// the moment it was taken. Holding it across Append/Merge calls and
+// appending to it yourself are both aliasing bugs (pinned by
+// TestEventsAliasing).
 func (l *Log) Events() []Event { return l.events }
 
-// Merge appends all events of other into l.
+// Merge appends copies of all of other's events into l. Events are
+// values, so after Merge the two logs share nothing: mutating or
+// appending to either never affects the other (pinned by
+// TestMergeAndFilterAliasing).
 func (l *Log) Merge(other *Log) { l.events = append(l.events, other.events...) }
 
-// Filter returns a new log containing only events accepted by keep.
+// Filter returns a new log containing only events accepted by keep. The
+// result is built on fresh backing storage — it never aliases the
+// source log, so the two evolve independently afterwards (pinned by
+// TestMergeAndFilterAliasing).
 func (l *Log) Filter(keep func(Event) bool) *Log {
 	out := &Log{}
 	for _, e := range l.events {
