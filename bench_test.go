@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sync"
 	"testing"
 
 	"tcsb/internal/analysis"
 	"tcsb/internal/core"
+	"tcsb/internal/counterfactual"
 	"tcsb/internal/counting"
 	"tcsb/internal/crawler"
 	"tcsb/internal/dht"
@@ -71,6 +73,60 @@ func BenchmarkCampaign(b *testing.B) {
 	}
 }
 
+// benchTimelineResult builds (once per process) the small longitudinal
+// fixture the timeline.* experiment benchmarks derive from: two epochs
+// with a churn drift at epoch 1, on the small campaign shape.
+var benchTimelineOnce struct {
+	sync.Once
+	tr *core.TimelineResult
+}
+
+func benchTimelineResult(b *testing.B) *core.TimelineResult {
+	b.Helper()
+	benchTimelineOnce.Do(func() {
+		sch, err := counterfactual.CompileSchedule("epochs=2;@1:churn:2")
+		if err != nil {
+			panic(err)
+		}
+		rc := campaign.SmallRunConfig()
+		rc.Workers = 2
+		benchTimelineOnce.tr = core.RunTimeline(campaign.SmallConfig(21), rc, sch)
+	})
+	return benchTimelineOnce.tr
+}
+
+// BenchmarkTimeline measures the acceptance-scenario longitudinal
+// campaign — 14 epochs over one evolving default-scale world with the
+// Hydra fleet dissolving at epoch 5 — end to end: world construction,
+// per-epoch ticking/crawling/collection, epoch snapshots and the
+// timeline.* derivations. The per-epoch cost is flat (activity is read
+// as deltas of the bounded streaming accumulators); BENCH_campaign.json
+// records the measured wall clock next to the plain campaign's.
+func BenchmarkTimeline(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full longitudinal campaign benchmark")
+	}
+	sch, err := counterfactual.CompileSchedule("epochs=14;days=1;@5:hydra-dissolution")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.DefaultConfig()
+		cfg.Seed = 1
+		rc := core.DefaultRunConfig()
+		rc.Workers = 1
+		tr := core.RunTimeline(cfg, rc, sch)
+		if len(tr.Epochs) != 14 {
+			b.Fatal("short timeline")
+		}
+		results, err := experiments.RunTimeline(tr, nil, 2)
+		if err != nil || len(results) == 0 {
+			b.Fatalf("timeline derivations failed: %v", err)
+		}
+	}
+}
+
 // --- Tables and figures (registry-driven) ---
 
 // BenchmarkExperiments runs every registered experiment as a
@@ -81,14 +137,20 @@ func BenchmarkCampaign(b *testing.B) {
 // derivations themselves.
 func BenchmarkExperiments(b *testing.B) {
 	o := benchObservatory(b)
+	tl := benchTimelineResult(b)
 	for _, e := range experiments.All() {
 		e := e
 		// Delta (whatif.*) experiments derive from a campaign pair; the
 		// self-pair measures the derivation cost without a second
-		// campaign build (every delta renders as zero).
+		// campaign build (every delta renders as zero). Timeline
+		// (timeline.*) experiments derive from the shared longitudinal
+		// fixture.
 		derive := func() []*report.Table { return e.Run(o) }
-		if e.IsDelta() {
+		switch e.Kind() {
+		case experiments.ModeDelta:
 			derive = func() []*report.Table { return e.Delta(o, o) }
+		case experiments.ModeTimeline:
+			derive = func() []*report.Table { return e.Timeline(tl) }
 		}
 		b.Run(e.Name, func(b *testing.B) {
 			b.ReportAllocs()

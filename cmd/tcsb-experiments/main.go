@@ -11,6 +11,9 @@
 //	                 [-json] [-retain-trace]
 //	tcsb-experiments -what-if hydra-dissolution[,aws-outage,...]
 //	                 [-only whatif.fig8] [-json] [...]
+//	tcsb-experiments -timeline "epochs=14;@5:hydra-dissolution"
+//	                 [-epochs N] [-only timeline.population] [...]
+//	tcsb-experiments -timeline timeline.dissolution [-epochs N] [...]
 //
 // -workers drives the observation campaign (world ticks, crawls,
 // provider-record collection) on a bounded goroutine pool; -parallel
@@ -18,6 +21,13 @@
 // observatory. -what-if runs a paired campaign instead — a baseline world
 // and a world rewritten by the named interventions, sharing the -workers
 // pool — and renders the whatif.* delta experiments over the pair.
+// -timeline runs a longitudinal campaign: one evolving world stepped
+// through a declarative epoch schedule (spec grammar or a timeline.*
+// preset name) with population drift and interventions firing at epoch
+// boundaries, rendered by the timeline.* experiments with epoch-tagged
+// rows; -epochs overrides the schedule's epoch count (alone it means a
+// drift-free "epochs=N" schedule). -days is ignored in timeline mode —
+// the schedule owns the calendar.
 // -preset applies a named scale.* scenario (population/traffic
 // multiplier via the Config.Scaled cloning hook); it composes with
 // -scale multiplicatively. The observation path streams: vantage-point
@@ -43,6 +53,7 @@ import (
 	"tcsb/internal/experiments"
 	"tcsb/internal/report"
 	"tcsb/internal/scenario"
+	"tcsb/internal/timeline"
 )
 
 func main() {
@@ -53,6 +64,8 @@ func main() {
 	days := flag.Int("days", 10, "observation days")
 	only := flag.String("only", "", "comma-separated experiment filter (e.g. table1,fig3,fig13)")
 	whatIf := flag.String("what-if", "", "comma-separated counterfactual interventions (e.g. hydra-dissolution,churn-2x); runs a paired baseline/intervention campaign and the whatif.* delta experiments")
+	timelineSpec := flag.String("timeline", "", "epoch schedule (e.g. \"epochs=14;@5:hydra-dissolution\") or a timeline.* preset name; runs a longitudinal campaign and the timeline.* experiments")
+	epochs := flag.Int("epochs", 0, "override the -timeline schedule's epoch count (alone: a drift-free epochs=N schedule)")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutine pool size for the observation campaign (output is identical for every value)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max experiments executed concurrently")
 	jsonOut := flag.Bool("json", false, "emit JSONL (one JSON object per table) instead of text tables")
@@ -65,6 +78,8 @@ func main() {
 		fmt.Println(interventionList())
 		fmt.Println()
 		fmt.Println(presetList())
+		fmt.Println()
+		fmt.Println(timelinePresetList())
 		return
 	}
 
@@ -82,9 +97,49 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// Timeline mode: resolve a preset name or parse the spec grammar,
+	// apply the -epochs override, and compile against the intervention
+	// registry — all before paying for any simulation.
+	var schedule *timeline.Compiled
+	if *timelineSpec != "" || *epochs > 0 {
+		if len(interventions) > 0 {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments: -timeline and -what-if are mutually exclusive (a schedule can fire interventions at epochs)")
+			os.Exit(2)
+		}
+		spec := *timelineSpec
+		if p, ok := timeline.LookupPreset(spec); ok {
+			spec = p.Spec
+		}
+		if spec == "" {
+			spec = fmt.Sprintf("epochs=%d", *epochs)
+		}
+		sch, err := timeline.Parse(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+			os.Exit(2)
+		}
+		if *epochs > 0 {
+			sch.Epochs = *epochs
+			if err := sch.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, "tcsb-experiments: -epochs override:", err)
+				os.Exit(2)
+			}
+		}
+		if schedule, err = sch.Compile(counterfactual.ScheduleResolver()); err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+			os.Exit(2)
+		}
+	}
 	// Validate the selection — against the mode actually requested — before
 	// paying for the simulation.
-	if _, err := experiments.SelectFor(names, len(interventions) > 0); err != nil {
+	mode := experiments.ModeRun
+	switch {
+	case len(interventions) > 0:
+		mode = experiments.ModeDelta
+	case schedule != nil:
+		mode = experiments.ModeTimeline
+	}
+	if _, err := experiments.SelectFor(names, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
 		os.Exit(2)
 	}
@@ -106,7 +161,24 @@ func main() {
 
 	var results []experiments.Result
 	var err error
-	if len(interventions) > 0 {
+	if schedule != nil {
+		s := schedule.Schedule()
+		fmt.Fprintf(os.Stderr, "building world (%d servers, %d NAT clients) and running %d epochs × %d days, schedule %s (workers=%d)...\n",
+			cfg.Servers, cfg.NATClients, s.Epochs, s.DaysPerEpoch, schedule.Spec(), rc.Workers)
+		start := time.Now()
+		tr := core.RunTimeline(cfg, rc, schedule)
+		fmt.Fprintf(os.Stderr, "timeline complete in %v (%d total RPCs)\n",
+			time.Since(start).Round(time.Millisecond), tr.World.Net.TotalMessages())
+
+		runStart := time.Now()
+		results, err = experiments.RunTimeline(tr, names, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "%d timeline experiments in %v (parallel=%d)\n\n",
+			len(results), time.Since(runStart).Round(time.Millisecond), *parallel)
+	} else if len(interventions) > 0 {
 		spec := counterfactual.Spec(interventions)
 		fmt.Fprintf(os.Stderr, "building paired worlds (%d servers, %d NAT clients), what-if %s, observing %d days each (workers=%d)...\n",
 			cfg.Servers, cfg.NATClients, spec, rc.Days, rc.Workers)
@@ -174,6 +246,18 @@ func presetList() *report.Table {
 	}
 	for _, p := range scenario.ScalePresets() {
 		t.AddRow(p.Name, p.Description)
+	}
+	return t
+}
+
+// timelinePresetList renders the timeline.* schedule family for -list.
+func timelinePresetList() *report.Table {
+	t := &report.Table{
+		Title:   "Timeline presets (-timeline; or pass a schedule spec directly)",
+		Columns: []string{"name", "schedule", "description"},
+	}
+	for _, p := range timeline.Presets() {
+		t.AddRow(p.Name, p.Spec, p.Description)
 	}
 	return t
 }

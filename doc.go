@@ -40,6 +40,19 @@
 // conservation laws no intervention may break are property-tested in
 // internal/simtest/invariants.
 //
+// A timeline layer (internal/timeline) makes time a first-class axis:
+// a campaign becomes a sequence of epochs over one evolving world,
+// driven by a declarative schedule (-timeline
+// "epochs=14;@5:hydra-dissolution", or the timeline.* presets) whose
+// events — provider arrivals and departures, churn drift, any
+// registered intervention — fire at epoch boundaries. core.RunTimeline
+// reuses the sharded worker pool and streaming sinks per epoch and the
+// timeline.* experiments render epoch-tagged rows; warm-start
+// checkpoints (scenario.World.Snapshot state digests, replay-verified
+// by core.ResumeTimeline) make a resumed run byte-identical to a
+// straight-through one, and the invariant suite holds at every epoch
+// boundary.
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured
 // results (regenerable via `go run ./cmd/tcsb-experiments -json`). The

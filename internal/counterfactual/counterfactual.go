@@ -27,6 +27,7 @@ import (
 	"tcsb/internal/core"
 	"tcsb/internal/ipdb"
 	"tcsb/internal/scenario"
+	"tcsb/internal/timeline"
 )
 
 // Intervention is one named counterfactual rewrite.
@@ -40,6 +41,13 @@ type Intervention struct {
 	Rewrite func(*scenario.Config)
 	// Mutate rewrites the built world before the campaign runs.
 	Mutate func(*scenario.World)
+	// ConstructionOnly marks an intervention whose entire effect is a
+	// rewrite of construction-time population shape (e.g. rebuilding
+	// the server mix). It works under -what-if, where the rewrite runs
+	// before world construction, but firing it mid-run against a built
+	// world would be a silent no-op — so ScheduleResolver refuses to
+	// bridge it into timeline schedules.
+	ConstructionOnly bool
 }
 
 var (
@@ -189,6 +197,39 @@ func Observe(cfg scenario.Config, rc core.RunConfig, ivs []Intervention) (baseli
 	return core.ObservePaired(cfg, rewrite, mutate, rc)
 }
 
+// ScheduleResolver bridges the intervention registry into the timeline
+// engine: a timeline.Schedule event naming a registered intervention
+// compiles into that intervention's (rewrite, mutate) pair, fired at
+// its epoch. Construction-only interventions are refused — their
+// rewrite touches fields a built world never re-reads, so scheduling
+// one would silently measure the baseline. The indirection exists
+// because timeline cannot import this package (it would cycle through
+// core); instead the registry injects itself here.
+func ScheduleResolver() timeline.Resolver {
+	return func(name string) (timeline.Mutator, error) {
+		iv, ok := Lookup(name)
+		if !ok {
+			return timeline.Mutator{}, fmt.Errorf("unknown intervention %q (known: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		if iv.ConstructionOnly {
+			return timeline.Mutator{}, fmt.Errorf("intervention %q only rewrites construction-time "+
+				"population shape and would be a no-op mid-run; use -what-if for it", name)
+		}
+		return timeline.Mutator{Rewrite: iv.Rewrite, Mutate: iv.Mutate}, nil
+	}
+}
+
+// CompileSchedule parses and compiles a timeline spec against this
+// registry — the one-call path the CLI, examples and tests use.
+func CompileSchedule(spec string) (*timeline.Compiled, error) {
+	s, err := timeline.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Compile(ScheduleResolver())
+}
+
 // The named interventions. Each targets one of the paper's reliance
 // claims; see the descriptions (and EXPERIMENTS.md "Counterfactuals"
 // for measured deltas).
@@ -224,7 +265,8 @@ func init() {
 		Name: "no-cloud-providers",
 		Description: "ordinary DHT servers abandon the cloud entirely: the server " +
 			"population is rebuilt fully residential (platform operators stay put)",
-		Rewrite: func(c *scenario.Config) { c.CloudServerFrac = 0 },
+		Rewrite:          func(c *scenario.Config) { c.CloudServerFrac = 0 },
+		ConstructionOnly: true,
 	})
 	Register(Intervention{
 		Name: "churn-2x",

@@ -14,6 +14,35 @@ func smallConfig(seed int64) scenario.Config {
 	return cfg
 }
 
+// TestScheduleResolver pins the registry-to-timeline bridge: every
+// schedulable intervention resolves, unknown names carry the catalog in
+// the error, and construction-only rewrites are refused (scheduling one
+// against a built world would silently measure the baseline).
+func TestScheduleResolver(t *testing.T) {
+	res := ScheduleResolver()
+	for _, iv := range All() {
+		_, err := res(iv.Name)
+		if iv.ConstructionOnly {
+			if err == nil || !strings.Contains(err.Error(), "no-op mid-run") {
+				t.Errorf("construction-only intervention %q not refused: %v", iv.Name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("intervention %q failed to resolve: %v", iv.Name, err)
+		}
+	}
+	if _, err := res("nope"); err == nil || !strings.Contains(err.Error(), "hydra-dissolution") {
+		t.Errorf("unknown name should list the catalog, got %v", err)
+	}
+	if _, err := CompileSchedule("epochs=3;@1:no-cloud-providers"); err == nil {
+		t.Error("CompileSchedule accepted a construction-only intervention")
+	}
+	if c, err := CompileSchedule("epochs=3;@1:hydra-dissolution"); err != nil || c.Spec() != "epochs=3;days=1;@1:hydra-dissolution" {
+		t.Errorf("CompileSchedule(valid) = %v, %v", c, err)
+	}
+}
+
 func TestCatalogAndParse(t *testing.T) {
 	if len(All()) < 4 {
 		t.Fatalf("catalog has %d interventions, the instrument promises at least 4", len(All()))

@@ -29,7 +29,14 @@ var whatifUnits = []string{
 	"whatif.section5", "whatif.fig11", "whatif.fig13", "whatif.fig16",
 }
 
-func registrySize() int { return len(paperUnits) + len(whatifUnits) }
+// timelineUnits is the longitudinal catalog: epoch-by-epoch experiments
+// that derive from a scheduled multi-epoch campaign.
+var timelineUnits = []string{
+	"timeline.schedule", "timeline.population", "timeline.content",
+	"timeline.vantage", "timeline.crawl", "timeline.digest",
+}
+
+func registrySize() int { return len(paperUnits) + len(whatifUnits) + len(timelineUnits) }
 
 func TestRegistryCompleteness(t *testing.T) {
 	names := Names()
@@ -50,8 +57,16 @@ func TestRegistryCompleteness(t *testing.T) {
 			t.Errorf("counterfactual unit %q must be a Delta experiment", want)
 		}
 	}
+	for _, want := range timelineUnits {
+		if !have[want] {
+			t.Errorf("timeline unit %q has no registered experiment", want)
+		}
+		if e, _ := Lookup(want); e.Kind() != ModeTimeline {
+			t.Errorf("timeline unit %q must be a Timeline experiment", want)
+		}
+	}
 	if len(names) != registrySize() {
-		t.Errorf("registry has %d experiments, coverage lists %d — update paperUnits/whatifUnits or the catalog",
+		t.Errorf("registry has %d experiments, coverage lists %d — update paperUnits/whatifUnits/timelineUnits or the catalog",
 			len(names), registrySize())
 	}
 	for _, e := range All() {
@@ -63,6 +78,9 @@ func TestRegistryCompleteness(t *testing.T) {
 		}
 		if e.IsDelta() != strings.HasPrefix(e.Name, "whatif.") {
 			t.Errorf("experiment %q: the whatif. prefix and the Delta kind must coincide", e.Name)
+		}
+		if (e.Kind() == ModeTimeline) != strings.HasPrefix(e.Name, "timeline.") {
+			t.Errorf("experiment %q: the timeline. prefix and the Timeline kind must coincide", e.Name)
 		}
 	}
 }
@@ -80,20 +98,31 @@ func TestLookupAndSelect(t *testing.T) {
 	}
 	// Mode-scoped selection: empty names filter by kind, explicit names of
 	// the wrong kind are rejected with a pointer at the right mode.
-	plain, err := SelectFor(nil, false)
+	plain, err := SelectFor(nil, ModeRun)
 	if err != nil || len(plain) != len(paperUnits) {
 		t.Fatalf("SelectFor(run): %d experiments, err=%v", len(plain), err)
 	}
-	deltas, err := SelectFor(nil, true)
+	deltas, err := SelectFor(nil, ModeDelta)
 	if err != nil || len(deltas) != len(whatifUnits) {
 		t.Fatalf("SelectFor(delta): %d experiments, err=%v", len(deltas), err)
 	}
-	if _, err := SelectFor([]string{"whatif.fig3"}, false); err == nil ||
+	timelines, err := SelectFor(nil, ModeTimeline)
+	if err != nil || len(timelines) != len(timelineUnits) {
+		t.Fatalf("SelectFor(timeline): %d experiments, err=%v", len(timelines), err)
+	}
+	if _, err := SelectFor([]string{"whatif.fig3"}, ModeRun); err == nil ||
 		!strings.Contains(err.Error(), "-what-if") {
 		t.Fatalf("whatif.* without paired mode should point at -what-if, got %v", err)
 	}
-	if _, err := SelectFor([]string{"fig3"}, true); err == nil {
+	if _, err := SelectFor([]string{"timeline.population"}, ModeRun); err == nil ||
+		!strings.Contains(err.Error(), "-timeline") {
+		t.Fatalf("timeline.* without a schedule should point at -timeline, got %v", err)
+	}
+	if _, err := SelectFor([]string{"fig3"}, ModeDelta); err == nil {
 		t.Fatal("plain experiment in paired mode should error")
+	}
+	if _, err := SelectFor([]string{"fig3"}, ModeTimeline); err == nil {
+		t.Fatal("plain experiment in timeline mode should error")
 	}
 	// Selection order follows registration order, not request order.
 	sel, err := Select([]string{"fig5", "table1"})

@@ -35,10 +35,51 @@ type Experiment struct {
 	// across -parallel settings is a tested guarantee.
 	Run func(*core.Observatory) []*report.Table
 	// Delta derives a baseline-vs-intervention comparison from a paired
-	// counterfactual campaign (the whatif.* entries). Exactly one of Run
-	// and Delta must be set: Delta experiments execute only under
-	// RunPaired, with the same purity requirements as Run.
+	// counterfactual campaign (the whatif.* entries). Delta experiments
+	// execute only under RunPaired, with the same purity requirements
+	// as Run.
 	Delta func(baseline, whatif *core.Observatory) []*report.Table
+	// Timeline derives an epoch-by-epoch view from a longitudinal
+	// campaign (the timeline.* entries), executing only under
+	// RunTimeline. Exactly one of Run, Delta and Timeline must be set.
+	Timeline func(*core.TimelineResult) []*report.Table
+}
+
+// Mode is an experiment's execution mode: which kind of campaign it
+// derives from, and therefore which CLI mode can run it.
+type Mode int
+
+const (
+	// ModeRun is a plain single-campaign experiment.
+	ModeRun Mode = iota
+	// ModeDelta is a paired counterfactual (whatif.*) experiment.
+	ModeDelta
+	// ModeTimeline is a longitudinal (timeline.*) experiment.
+	ModeTimeline
+)
+
+// String names the mode by the CLI flag that invokes it.
+func (m Mode) String() string {
+	switch m {
+	case ModeDelta:
+		return "-what-if"
+	case ModeTimeline:
+		return "-timeline"
+	default:
+		return "plain"
+	}
+}
+
+// Kind returns the experiment's execution mode.
+func (e Experiment) Kind() Mode {
+	switch {
+	case e.Delta != nil:
+		return ModeDelta
+	case e.Timeline != nil:
+		return ModeTimeline
+	default:
+		return ModeRun
+	}
 }
 
 // IsDelta reports whether the experiment is a paired (whatif.*) entry.
@@ -55,8 +96,14 @@ var (
 // invalid or duplicate registration: the catalog is assembled in package
 // init and a bad entry is a programming error.
 func Register(e Experiment) {
-	if e.Name == "" || (e.Run == nil) == (e.Delta == nil) {
-		panic("experiments: Register needs a name and exactly one of Run/Delta")
+	kinds := 0
+	for _, set := range []bool{e.Run != nil, e.Delta != nil, e.Timeline != nil} {
+		if set {
+			kinds++
+		}
+	}
+	if e.Name == "" || kinds != 1 {
+		panic("experiments: Register needs a name and exactly one of Run/Delta/Timeline")
 	}
 	if _, dup := byName[e.Name]; dup {
 		panic(fmt.Sprintf("experiments: duplicate registration of %q", e.Name))
@@ -120,9 +167,10 @@ func Select(names []string) ([]Experiment, error) {
 // SelectFor resolves names like Select but scoped to one execution mode:
 // an empty selection means every experiment of the wanted kind, while an
 // explicit name of the wrong kind is an error (a whatif.* entry cannot
-// run without a paired campaign, and vice versa). The CLI validates with
-// it before paying for the simulation.
-func SelectFor(names []string, wantDelta bool) ([]Experiment, error) {
+// run without a paired campaign, a timeline.* entry cannot run without
+// a schedule, and vice versa). The CLI validates with it before paying
+// for the simulation.
+func SelectFor(names []string, mode Mode) ([]Experiment, error) {
 	exps, err := Select(names)
 	if err != nil {
 		return nil, err
@@ -130,18 +178,23 @@ func SelectFor(names []string, wantDelta bool) ([]Experiment, error) {
 	if len(names) == 0 {
 		var out []Experiment
 		for _, e := range exps {
-			if e.IsDelta() == wantDelta {
+			if e.Kind() == mode {
 				out = append(out, e)
 			}
 		}
 		return out, nil
 	}
 	for _, e := range exps {
-		if e.IsDelta() && !wantDelta {
-			return nil, fmt.Errorf("experiment %q is a counterfactual delta; it needs -what-if", e.Name)
+		if e.Kind() == mode {
+			continue
 		}
-		if !e.IsDelta() && wantDelta {
-			return nil, fmt.Errorf("experiment %q is not a counterfactual delta; run it without -what-if", e.Name)
+		switch e.Kind() {
+		case ModeDelta:
+			return nil, fmt.Errorf("experiment %q is a counterfactual delta; it needs -what-if", e.Name)
+		case ModeTimeline:
+			return nil, fmt.Errorf("experiment %q is longitudinal; it needs -timeline", e.Name)
+		default:
+			return nil, fmt.Errorf("experiment %q is not a %s experiment; run it without that flag", e.Name, mode)
 		}
 	}
 	return exps, nil

@@ -19,6 +19,11 @@ type Result struct {
 	// diffed under; empty for ordinary runs. It tags JSONL rows so delta
 	// streams from different interventions stay distinguishable.
 	WhatIf []string
+	// Timeline is the canonical schedule spec of a longitudinal run;
+	// empty otherwise. It tags JSONL rows (every timeline table also
+	// carries an explicit epoch column) so streams from different
+	// schedules stay distinguishable.
+	Timeline string
 	// Elapsed is wall-clock execution time. It is reported on stderr by
 	// the CLI but never rendered into stdout, which must stay
 	// byte-identical across -parallel settings.
@@ -67,7 +72,7 @@ func runPool(exps []Experiment, parallel int, derive func(Experiment) []*report.
 // whose shared derived data is memoized behind sync.Once in
 // internal/core, so any parallel setting yields identical results.
 func Run(o *core.Observatory, names []string, parallel int) ([]Result, error) {
-	exps, err := SelectFor(names, false)
+	exps, err := SelectFor(names, ModeRun)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +90,7 @@ func Run(o *core.Observatory, names []string, parallel int) ([]Result, error) {
 // output is byte-identical across parallel (and campaign worker)
 // settings.
 func RunPaired(baseline, whatif *core.Observatory, labels []string, names []string, parallel int) ([]Result, error) {
-	exps, err := SelectFor(names, true)
+	exps, err := SelectFor(names, ModeDelta)
 	if err != nil {
 		return nil, err
 	}
@@ -142,8 +147,9 @@ func RenderJSONL(w io.Writer, results []Result) error {
 				Experiment string          `json:"experiment"`
 				Section    string          `json:"section"`
 				WhatIf     []string        `json:"whatif,omitempty"`
+				Timeline   string          `json:"timeline,omitempty"`
 				Table      json.RawMessage `json:"table"`
-			}{r.Experiment.Name, r.Experiment.Section, r.WhatIf, json.RawMessage(t.JSON())})
+			}{r.Experiment.Name, r.Experiment.Section, r.WhatIf, r.Timeline, json.RawMessage(t.JSON())})
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tcsb/internal/core"
+	"tcsb/internal/counterfactual"
+	"tcsb/internal/simtest/campaign"
+)
+
+// renderTimeline runs the full timeline.* catalog over a result and
+// renders both output formats.
+func renderTimeline(t *testing.T, tr *core.TimelineResult, parallel int) (string, string) {
+	t.Helper()
+	results, err := RunTimeline(tr, nil, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, jsonl strings.Builder
+	if err := RenderText(&text, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderJSONL(&jsonl, results); err != nil {
+		t.Fatal(err)
+	}
+	return text.String(), jsonl.String()
+}
+
+// TestTimelineWorkerDeterminism is the longitudinal engine's headline
+// guarantee, in two legs over the acceptance scenario (a 14-epoch
+// timeline with the Hydra fleet dissolving at epoch 5):
+//
+//  1. Workers: two independently built runs — fully serial vs an
+//     8-worker pool driving the sharded ticks, crawls and collection —
+//     render byte-identical text and JSONL.
+//  2. Warm starts: a run checkpointed at epoch 7 (built with 8 workers)
+//     and resumed (with 1 worker — the resume may not even run on the
+//     same pool shape) splices onto its prefix byte-identically to the
+//     straight-through run, after the resume's replay verified the
+//     checkpoint snapshot. A tampered checkpoint must be refused.
+func TestTimelineWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds several 14-epoch campaigns")
+	}
+	const spec = "epochs=14;days=1;@5:hydra-dissolution"
+	sch, err := counterfactual.CompileSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := campaign.SmallConfig(5)
+	rcWith := func(workers int) core.RunConfig {
+		rc := campaign.SmallRunConfig()
+		rc.Workers = workers
+		return rc
+	}
+
+	serial := core.RunTimeline(cfg, rcWith(1), sch)
+	pooled := core.RunTimeline(cfg, rcWith(8), sch)
+	serialText, serialJSON := renderTimeline(t, serial, 1)
+	pooledText, pooledJSON := renderTimeline(t, pooled, 4)
+	if serialText != pooledText {
+		t.Error("timeline text output differs between campaign workers=1 and workers=8")
+	}
+	if serialJSON != pooledJSON {
+		t.Error("timeline JSONL output differs between campaign workers=1 and workers=8")
+	}
+	if !strings.Contains(serialJSON, `"timeline":"`+spec+`"`) {
+		t.Error("timeline JSONL rows are not tagged with the canonical schedule spec")
+	}
+	if !strings.Contains(serialJSON, `"experiment":"timeline.population"`) {
+		t.Error("timeline JSONL stream is missing timeline experiments")
+	}
+	if !strings.Contains(serialJSON, `["epoch"`) {
+		t.Error("timeline tables are missing the epoch column")
+	}
+	if got := len(serial.Epochs); got != 14 {
+		t.Fatalf("straight-through run reported %d epochs, want 14", got)
+	}
+	if !strings.Contains(serialText, "hydra-dissolution") {
+		t.Error("the scheduled intervention never surfaced in the rendered output")
+	}
+
+	// Checkpoint at epoch 7 with one pool shape, resume with another.
+	prefix, err := core.RunTimelineUntil(cfg, rcWith(8), sch, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefix.Final.EpochsDone != 7 || len(prefix.Epochs) != 7 {
+		t.Fatalf("prefix: EpochsDone=%d, %d epoch rows; want 7, 7",
+			prefix.Final.EpochsDone, len(prefix.Epochs))
+	}
+	resumed, err := core.ResumeTimeline(cfg, rcWith(1), sch, prefix.Final)
+	if err != nil {
+		t.Fatalf("resume failed verification: %v", err)
+	}
+	if resumed.From != 7 || len(resumed.Epochs) != 7 {
+		t.Fatalf("resumed: From=%d, %d epoch rows; want 7, 7", resumed.From, len(resumed.Epochs))
+	}
+	spliced := &core.TimelineResult{
+		Spec:     resumed.Spec,
+		Schedule: resumed.Schedule,
+		From:     0,
+		Epochs:   append(append([]core.EpochStats(nil), prefix.Epochs...), resumed.Epochs...),
+		Final:    resumed.Final,
+	}
+	splicedText, splicedJSON := renderTimeline(t, spliced, 2)
+	if splicedText != serialText {
+		t.Error("checkpoint/resume text output differs from the straight-through run")
+	}
+	if splicedJSON != serialJSON {
+		t.Error("checkpoint/resume JSONL output differs from the straight-through run")
+	}
+	if resumed.Final.State.Diff(serial.Final.State) != "" {
+		t.Error("resumed run's final snapshot diverges from the straight-through run's")
+	}
+
+	// A tampered checkpoint must fail the replay verification loudly.
+	bad := prefix.Final
+	bad.State.Digest ^= 1
+	if _, err := core.ResumeTimeline(cfg, rcWith(1), sch, bad); err == nil ||
+		!strings.Contains(err.Error(), "diverges from checkpoint") {
+		t.Errorf("tampered checkpoint not refused: %v", err)
+	}
+
+	// Same for an end-of-schedule checkpoint (EpochsDone == Epochs): it
+	// never hits the in-loop verification, so the post-loop check must
+	// catch the tampering; the untampered one must verify and resume to
+	// zero live epochs.
+	done, err := core.ResumeTimeline(cfg, rcWith(1), sch, serial.Final)
+	if err != nil {
+		t.Errorf("resume from a completed run's checkpoint failed verification: %v", err)
+	} else if len(done.Epochs) != 0 {
+		t.Errorf("resume from a completed run reported %d live epochs, want 0", len(done.Epochs))
+	}
+	badFinal := serial.Final
+	badFinal.State.Digest ^= 1
+	if _, err := core.ResumeTimeline(cfg, rcWith(1), sch, badFinal); err == nil ||
+		!strings.Contains(err.Error(), "diverges from checkpoint") {
+		t.Errorf("tampered end-of-schedule checkpoint not refused: %v", err)
+	}
+
+	// So must mismatched metadata, before any simulation is paid for.
+	wrongSeed := prefix.Final
+	wrongSeed.Seed = 999
+	if _, err := core.ResumeTimeline(cfg, rcWith(1), sch, wrongSeed); err == nil {
+		t.Error("checkpoint with a foreign seed not refused")
+	}
+	other, err := counterfactual.CompileSchedule("epochs=14;days=1;@6:hydra-dissolution")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.ResumeTimeline(cfg, rcWith(1), other, prefix.Final); err == nil {
+		t.Error("checkpoint replayed under a different schedule not refused")
+	}
+}
+
+// TestRunTimelineSelection covers mode scoping and bounds on the
+// timeline runner without paying for a long campaign.
+func TestRunTimelineSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a small timeline campaign")
+	}
+	sch, err := counterfactual.CompileSchedule("epochs=2;@1:churn:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := campaign.SmallRunConfig()
+	rc.Workers = 2
+	tr := core.RunTimeline(campaign.SmallConfig(3), rc, sch)
+
+	results, err := RunTimeline(tr, []string{"timeline.population", "timeline.schedule"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Experiment.Name != "timeline.schedule" {
+		t.Fatalf("selection order/size wrong: %+v", results)
+	}
+	for _, r := range results {
+		if r.Timeline != tr.Spec {
+			t.Errorf("result %q missing the timeline tag", r.Experiment.Name)
+		}
+	}
+	if _, err := RunTimeline(tr, []string{"fig3"}, 1); err == nil {
+		t.Error("plain experiment accepted by the timeline runner")
+	}
+	if _, err := core.RunTimelineUntil(campaign.SmallConfig(3), rc, sch, 0); err == nil {
+		t.Error("RunTimelineUntil(0) accepted")
+	}
+	if _, err := core.RunTimelineUntil(campaign.SmallConfig(3), rc, sch, 3); err == nil {
+		t.Error("RunTimelineUntil past the schedule end accepted")
+	}
+}

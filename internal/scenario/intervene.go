@@ -1,5 +1,7 @@
 package scenario
 
+import "tcsb/internal/ids"
+
 // Counterfactual intervention hooks: surgical rewrites of a built world
 // that internal/counterfactual composes into named what-if scenarios.
 // Every hook is deterministic (no RNG draws) and leaves the world in a
@@ -51,6 +53,75 @@ func (w *World) ProviderOutage(provider string) int {
 		}
 	}
 	return pinned
+}
+
+// ProviderArrival adds n fresh cloud DHT servers hosted by the given
+// provider to a running world — the population-drift counterpart of
+// ProviderOutage, fired by timeline schedules ("@3:arrive:choopa:120").
+// New arrivals join exactly like construction-time servers: allocator
+// IPs inside the provider's footprint, a realistic routing table, and
+// Bitswap wiring (monitor coverage included). They append to the order
+// and server role lists, so existing actors keep their shard positions
+// and the evolution stays byte-identical across Workers values. It
+// returns the new identities.
+//
+// Determinism: all draws come from the serial master RNG, and the hook
+// runs only on the serial path between epochs (never inside a tick
+// phase), like every other intervention.
+func (w *World) ProviderArrival(provider string, n int) []ids.PeerID {
+	out := make([]ids.PeerID, 0, n)
+	for i := 0; i < n; i++ {
+		country := w.cloudCountryFor(provider)
+		a := w.addServerActor(true, provider, country, "", 0.25)
+		out = append(out, a.ID)
+	}
+	w.rebuildRing()
+	for _, id := range out {
+		a := w.Actors[id]
+		w.fillTableOf(a)
+		for j := 0; j < w.Cfg.BitswapDegree; j++ {
+			other := w.order[w.Rng.Intn(len(w.order))]
+			if other != id {
+				a.Node.ConnectBitswap(other)
+				w.Actors[other].Node.ConnectBitswap(id)
+			}
+		}
+		if w.Rng.Float64() < w.Cfg.MonitorCoverage {
+			a.Node.ConnectBitswap(w.Monitor.ID())
+		}
+	}
+	return out
+}
+
+// ApplyRewrite applies a config rewrite to a *running* world and
+// re-syncs the derived knobs that are otherwise read only at
+// construction time (currently the vantage Hydra's proactive-lookup
+// switch). Behavioural fields — churn probabilities, traffic mix,
+// request volume — take effect from the next tick; population-shape
+// fields (Servers, CloudServerFrac, …) are construction-time inputs and
+// a mid-run rewrite of them is deliberately a no-op. Timeline schedules
+// use this to fire config-level interventions at epoch boundaries.
+func (w *World) ApplyRewrite(f func(*Config)) {
+	f(&w.Cfg)
+	w.Hydra.SetProactiveLookups(w.Cfg.HydraProactiveLookups)
+}
+
+// ScaleResidentialChurn multiplies the residential churn aggressiveness
+// by factor (offline probability, IP rotation and identity regeneration
+// on return), clamping each probability to 1 — the timeline engine's
+// "@E:churn:F" drift action. factor < 1 calms the fringe down.
+func (w *World) ScaleResidentialChurn(factor float64) {
+	w.ApplyRewrite(func(c *Config) {
+		clamp := func(p float64) float64 {
+			if p > 1 {
+				return 1
+			}
+			return p
+		}
+		c.NonCloudOfflineProb = clamp(c.NonCloudOfflineProb * factor)
+		c.RotateIPProb = clamp(c.RotateIPProb * factor)
+		c.RegenerateIDProb = clamp(c.RegenerateIDProb * factor)
+	})
 }
 
 // PinnedOfflineCount reports how many actors an intervention has

@@ -1,0 +1,283 @@
+package scenario
+
+// Warm-start checkpoints for the timeline engine. A Snapshot is a
+// deterministic fingerprint of everything in a world that evolves —
+// the actor registry, the per-node provider-record ledgers, the content
+// catalogue, the vantage-point trace accumulators, the RPC counters and
+// the (possibly rewritten) live config — taken at an epoch boundary.
+//
+// Restore is replay-based: math/rand generator state is opaque, so a
+// checkpoint does not serialize the world; it pins its state. Resuming
+// a timeline rebuilds the world from the same config, replays the
+// deterministic schedule prefix tick for tick, and verifies the
+// replayed world's Snapshot against the checkpoint before continuing.
+// Because the engine's evolution is a pure function of (Config,
+// schedule, tick) for every Workers value, a verified resume is
+// byte-identical to a straight-through run — the property pinned by
+// TestTimelineWorkerDeterminism.
+//
+// Every World field must be accounted for in exactly one of
+// worldSnapshotFields (walked by the digest) or worldSnapshotExcluded
+// (with the reason it is safe to skip); the reflection test in
+// snapshot_reflect_test.go fails when a new field is added to World
+// without deciding its checkpoint treatment.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"tcsb/internal/trace"
+)
+
+// Snapshot fingerprints a world's evolving state. The exported counters
+// exist so a failed resume can say *what* diverged; Digest covers the
+// full canonical state walk, including everything the counters summarize.
+type Snapshot struct {
+	Tick int
+	// Population.
+	Actors, Online, Servers, Clients, PinnedOffline int
+	// Content.
+	CatalogSize, LiveCIDs int
+	// Identifier sequences (peer and CID allocation cursors).
+	PeerSeq, CIDSeq uint64
+	// Provider-record ledger totals across all nodes.
+	RecordsCreated, RecordsPruned, RecordsStored int64
+	// Network and vantage activity.
+	TotalRPCs     int64
+	HydraEvents   int
+	HydraDownload int64
+	HydraAdvert   int64
+	MonitorEvents int
+	// Digest is the FNV-1a fingerprint of the canonical state walk.
+	Digest uint64
+}
+
+// worldSnapshotFields lists every World field the Snapshot digest
+// captures (directly or through a canonical summary), keyed by field
+// name with a note on how. snapshot_reflect_test.go asserts this map
+// and worldSnapshotExcluded partition the World struct exactly.
+var worldSnapshotFields = map[string]string{
+	"Cfg":      "hashed canonically (timeline rewrites mutate it mid-run)",
+	"Net":      "per-actor liveness/addresses via the registry walk + total RPC counter",
+	"Actors":   "walked in creation order: identity, role, liveness, IP, provider ledger",
+	"order":    "walk order + length",
+	"servers":  "role list contents",
+	"clients":  "role list contents",
+	"Monitor":  "streaming accumulator event/class counters",
+	"Hydra":    "streaming accumulator counters + cache size + pending lookups",
+	"PLHydras": "deployment count + per-deployment cache size and pending lookups",
+	"Gateways": "count, domains and served totals",
+	"IPFSBank": "covered by the Gateways walk (it is a member)",
+	"bankIdx":  "hashed directly",
+	"catalog":  "every entry: cid, owner, born/die ticks, persistence",
+	"live":     "live index list",
+	"tick":     "hashed directly",
+	"peerSeq":  "hashed directly",
+	"cidSeq":   "hashed directly",
+}
+
+// worldSnapshotExcluded lists every World field the digest deliberately
+// skips, with the reason the skip is sound. A field belongs here only
+// if its state is scratch, execution-only, immutable, or fully derived
+// from digested state by the deterministic replay that Restore performs.
+var worldSnapshotExcluded = map[string]string{
+	"Rng":           "opaque math/rand state; restore is replay-based, which reconstructs it",
+	"Workers":       "execution knob; the evolution is byte-identical for every value",
+	"DB":            "immutable address-plan database",
+	"Alloc":         "allocation cursors + RNG; observable effect (actor IPs) is digested",
+	"DNS":           "append-only registration log, a pure function of the digested construction + arrival history",
+	"platformNodes": "construction-time cluster wiring, immutable after build",
+	"ring":          "derived from servers + hydra heads via rebuildRing",
+	"zipf":          "derived from catalogue size and the replayed RNG stream",
+	"zipfTail":      "derived from catalogue size and the replayed RNG stream",
+	"viewsBuf":      "per-tick scratch, semantically empty between ticks",
+}
+
+// Snapshot fingerprints the world's current state. It is read-only and
+// must be called from the serial path (between ticks / at epoch
+// boundaries), like every other whole-world observation.
+func (w *World) Snapshot() Snapshot {
+	h := fnv.New64a()
+	u64 := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+	str := func(s string) { u64(uint64(len(s))); h.Write([]byte(s)) }
+	boolean := func(v bool) {
+		if v {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	s := Snapshot{
+		Tick:    w.tick,
+		Actors:  len(w.Actors),
+		Servers: len(w.servers),
+		Clients: len(w.clients),
+		PeerSeq: w.peerSeq,
+		CIDSeq:  w.cidSeq,
+	}
+
+	// Config (canonical: fmt renders maps in sorted key order).
+	str(fmt.Sprintf("%+v", w.Cfg))
+
+	// Clock-and-sequence scalars.
+	i64(int64(w.tick))
+	u64(w.peerSeq)
+	u64(w.cidSeq)
+	i64(int64(w.bankIdx))
+
+	// Actor registry in creation order: identity, role, liveness,
+	// address, and the per-node provider-record ledger.
+	u64(uint64(len(w.order)))
+	for _, id := range w.order {
+		a := w.Actors[id]
+		k := id.Key()
+		h.Write(k[:])
+		if a == nil {
+			continue
+		}
+		boolean(a.Online)
+		boolean(a.PinnedOffline)
+		boolean(a.NAT)
+		boolean(a.Cloud)
+		str(a.Provider)
+		str(a.Country)
+		str(a.Platform)
+		str(a.IP.String())
+		rk := a.Relay.Key()
+		h.Write(rk[:])
+		f64(a.activity)
+		u64(uint64(len(a.Owned)))
+		st := a.Node.ProviderStats()
+		i64(st.Created)
+		i64(st.Pruned)
+		i64(st.Stored)
+		s.RecordsCreated += st.Created
+		s.RecordsPruned += st.Pruned
+		s.RecordsStored += st.Stored
+		if a.Online {
+			s.Online++
+		}
+		if a.PinnedOffline {
+			s.PinnedOffline++
+		}
+	}
+	u64(uint64(len(w.servers)))
+	for _, id := range w.servers {
+		k := id.Key()
+		h.Write(k[:])
+	}
+	u64(uint64(len(w.clients)))
+	for _, id := range w.clients {
+		k := id.Key()
+		h.Write(k[:])
+	}
+
+	// Content catalogue and live set.
+	s.CatalogSize = len(w.catalog)
+	s.LiveCIDs = len(w.live)
+	u64(uint64(len(w.catalog)))
+	for i := range w.catalog {
+		e := &w.catalog[i]
+		k := e.cid.Key()
+		h.Write(k[:])
+		ok := e.owner.Key()
+		h.Write(ok[:])
+		i64(int64(e.bornTick))
+		i64(int64(e.dieTick))
+		boolean(e.persistent)
+	}
+	u64(uint64(len(w.live)))
+	for _, idx := range w.live {
+		i64(int64(idx))
+	}
+
+	// Vantage-point streaming accumulators.
+	accum := func(st *trace.Accum) (events int, dl, adv int64) {
+		if st == nil {
+			u64(0)
+			return 0, 0, 0
+		}
+		events = st.Len()
+		dl = st.ClassCount(trace.Download)
+		adv = st.ClassCount(trace.Advertise)
+		i64(int64(events))
+		i64(dl)
+		i64(adv)
+		i64(st.ClassCount(trace.Other))
+		i64(int64(st.DistinctPeers()))
+		return events, dl, adv
+	}
+	s.HydraEvents, s.HydraDownload, s.HydraAdvert = accum(w.Hydra.Stats())
+	i64(int64(w.Hydra.CacheSize()))
+	i64(int64(w.Hydra.PendingLookups()))
+	s.MonitorEvents, _, _ = accum(w.Monitor.Stats())
+	u64(uint64(len(w.PLHydras)))
+	for _, ph := range w.PLHydras {
+		i64(int64(ph.CacheSize()))
+		i64(int64(ph.PendingLookups()))
+	}
+
+	// Gateways: identity and served volume (the HTTP cache itself is
+	// derived from the replayed request stream these counters summarize).
+	u64(uint64(len(w.Gateways)))
+	for _, gw := range w.Gateways {
+		str(gw.Domain())
+		i64(gw.Requests)
+		i64(gw.CacheHits)
+	}
+
+	// Network totals.
+	s.TotalRPCs = w.Net.TotalMessages()
+	i64(s.TotalRPCs)
+
+	s.Digest = h.Sum64()
+	return s
+}
+
+// Diff reports the first field where two snapshots diverge, or "" when
+// they are identical. It exists so a failed checkpoint verification can
+// name the drift instead of printing two opaque digests.
+func (s Snapshot) Diff(o Snapshot) string {
+	type cmp struct {
+		name string
+		a, b int64
+	}
+	for _, c := range []cmp{
+		{"tick", int64(s.Tick), int64(o.Tick)},
+		{"actors", int64(s.Actors), int64(o.Actors)},
+		{"online", int64(s.Online), int64(o.Online)},
+		{"servers", int64(s.Servers), int64(o.Servers)},
+		{"clients", int64(s.Clients), int64(o.Clients)},
+		{"pinned-offline", int64(s.PinnedOffline), int64(o.PinnedOffline)},
+		{"catalog", int64(s.CatalogSize), int64(o.CatalogSize)},
+		{"live-cids", int64(s.LiveCIDs), int64(o.LiveCIDs)},
+		{"peer-seq", int64(s.PeerSeq), int64(o.PeerSeq)},
+		{"cid-seq", int64(s.CIDSeq), int64(o.CIDSeq)},
+		{"records-created", s.RecordsCreated, o.RecordsCreated},
+		{"records-pruned", s.RecordsPruned, o.RecordsPruned},
+		{"records-stored", s.RecordsStored, o.RecordsStored},
+		{"total-rpcs", s.TotalRPCs, o.TotalRPCs},
+		{"hydra-events", int64(s.HydraEvents), int64(o.HydraEvents)},
+		{"hydra-download", s.HydraDownload, o.HydraDownload},
+		{"hydra-advertise", s.HydraAdvert, o.HydraAdvert},
+		{"monitor-events", int64(s.MonitorEvents), int64(o.MonitorEvents)},
+	} {
+		if c.a != c.b {
+			return fmt.Sprintf("%s: %d != %d", c.name, c.a, c.b)
+		}
+	}
+	if s.Digest != o.Digest {
+		return fmt.Sprintf("digest: %#x != %#x (counters agree; deep state diverged)", s.Digest, o.Digest)
+	}
+	return ""
+}

@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The clone/snapshot completeness guards. The Scaled-cloning bug class
+// (a new Config field silently skipped by a deep copy) bit once
+// already; these tests make the failure structural — adding a field to
+// Config or World without deciding its Clone/Snapshot treatment fails
+// here with instructions, before any aliasing or checkpoint drift can
+// happen at runtime.
+
+// configDeepFields names the Config fields Clone must deep-copy (maps,
+// slices, pointers). Everything else must be a plain value kind, which
+// struct assignment copies correctly.
+var configDeepFields = map[string]bool{
+	"ProviderWeights":           true,
+	"CloudCountryWeights":       true,
+	"ResidentialCountryWeights": true,
+}
+
+func TestConfigCloneCompleteness(t *testing.T) {
+	typ := reflect.TypeOf(Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Map, reflect.Slice, reflect.Ptr, reflect.Interface, reflect.Chan, reflect.Func:
+			if !configDeepFields[f.Name] {
+				t.Errorf("new Config field %q has reference kind %s but is not deep-copied: "+
+					"handle it in Config.Clone and add it to configDeepFields", f.Name, f.Type.Kind())
+			}
+		default:
+			if configDeepFields[f.Name] {
+				t.Errorf("Config field %q is listed as deep-copied but has value kind %s: "+
+					"remove it from configDeepFields", f.Name, f.Type.Kind())
+			}
+		}
+	}
+
+	// The declared deep fields must actually be deep-copied: mutating the
+	// clone's maps must never reach the original.
+	orig := DefaultConfig()
+	clone := orig.Clone()
+	ov := reflect.ValueOf(&orig).Elem()
+	cv := reflect.ValueOf(&clone).Elem()
+	for name := range configDeepFields {
+		of, cf := ov.FieldByName(name), cv.FieldByName(name)
+		if of.Kind() != reflect.Map {
+			t.Fatalf("configDeepFields[%q]: only map fields exist today; extend this check for %s",
+				name, of.Kind())
+		}
+		if of.Pointer() == cf.Pointer() {
+			t.Errorf("Config.Clone aliases field %q (same backing map)", name)
+		}
+		key := reflect.ValueOf("__clone_probe__")
+		cf.SetMapIndex(key, reflect.ValueOf(123.0))
+		if of.MapIndex(key).IsValid() {
+			t.Errorf("mutating clone's %q reached the original", name)
+		}
+	}
+}
+
+func TestWorldSnapshotCompleteness(t *testing.T) {
+	typ := reflect.TypeOf(World{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		_, digested := worldSnapshotFields[name]
+		why, excluded := worldSnapshotExcluded[name]
+		switch {
+		case digested && excluded:
+			t.Errorf("World field %q is listed both digested and excluded (excluded as: %s)", name, why)
+		case !digested && !excluded:
+			t.Errorf("new World field %q has no checkpoint treatment: walk it in World.Snapshot "+
+				"and add it to worldSnapshotFields, or justify skipping it in worldSnapshotExcluded", name)
+		}
+	}
+	// And the lists must not drift ahead of the struct either.
+	fields := make(map[string]bool, typ.NumField())
+	for i := 0; i < typ.NumField(); i++ {
+		fields[typ.Field(i).Name] = true
+	}
+	for name := range worldSnapshotFields {
+		if !fields[name] {
+			t.Errorf("worldSnapshotFields lists %q, which is not a World field", name)
+		}
+	}
+	for name := range worldSnapshotExcluded {
+		if !fields[name] {
+			t.Errorf("worldSnapshotExcluded lists %q, which is not a World field", name)
+		}
+	}
+}
+
+// TestSnapshotDetectsEvolution pins that the digest is sensitive: a
+// world that has evolved (ticks, interventions, arrivals) never shares
+// a snapshot with its earlier self, while an untouched world is stable.
+func TestSnapshotDetectsEvolution(t *testing.T) {
+	cfg := DefaultConfig().Scaled(0.05)
+	cfg.Seed = 7
+	w := NewWorld(cfg)
+
+	s0 := w.Snapshot()
+	if diff := s0.Diff(w.Snapshot()); diff != "" {
+		t.Fatalf("snapshot of an untouched world is unstable: %s", diff)
+	}
+
+	w.StepTick()
+	s1 := w.Snapshot()
+	if s1.Diff(s0) == "" {
+		t.Fatal("a tick left the snapshot unchanged")
+	}
+	if s1.Tick != 1 {
+		t.Fatalf("tick = %d, want 1", s1.Tick)
+	}
+
+	w.ProviderArrival("choopa", 3)
+	s2 := w.Snapshot()
+	if s2.Servers != s1.Servers+3 {
+		t.Fatalf("arrival: servers %d, want %d", s2.Servers, s1.Servers+3)
+	}
+	if s2.Digest == s1.Digest {
+		t.Fatal("arrival left the digest unchanged")
+	}
+
+	// Config rewrites are state too (timeline drift actions mutate the
+	// live config): the digest must notice them.
+	w.ScaleResidentialChurn(2)
+	if s3 := w.Snapshot(); s3.Digest == s2.Digest {
+		t.Fatal("config rewrite left the digest unchanged")
+	}
+
+	// Identical construction yields identical snapshots (the replay
+	// property ResumeTimeline's verification rests on).
+	w2 := NewWorld(cfg)
+	w2.StepTick()
+	if diff := w2.Snapshot().Diff(s1); diff != "" {
+		t.Fatalf("replayed world diverges: %s", diff)
+	}
+}
+
+// TestSnapshotDiffNamesField pins that Diff reports the first diverging
+// counter by name rather than an opaque digest mismatch.
+func TestSnapshotDiffNamesField(t *testing.T) {
+	a := Snapshot{Tick: 3}
+	b := Snapshot{Tick: 4}
+	if diff := a.Diff(b); diff == "" || diff[:4] != "tick" {
+		t.Fatalf("Diff = %q, want a tick mismatch", diff)
+	}
+	c := Snapshot{Digest: 1}
+	d := Snapshot{Digest: 2}
+	if diff := c.Diff(d); diff == "" {
+		t.Fatal("digest-only divergence not reported")
+	}
+}

@@ -1,0 +1,72 @@
+package timeline
+
+import "testing"
+
+// TestParseScheduleCorpusRegressions promotes the checked-in fuzz
+// corpus (testdata/fuzz/FuzzParseSchedule) into a deterministic table:
+// every corpus entry is pinned to an explicit verdict and, for accepted
+// specs, its canonical rendering. The fuzzer only asserts generic
+// properties (no panic, canonical round-trip); this table freezes the
+// exact semantics, so a grammar change on any historical input fails
+// loudly even when the fuzz replay would still pass.
+func TestParseScheduleCorpusRegressions(t *testing.T) {
+	cases := []struct {
+		name  string // corpus file the input came from
+		in    string
+		ok    bool
+		canon string // expected String() for accepted specs
+	}{
+		{"seed_dissolution", "epochs=14;days=1;@5:hydra-dissolution", true,
+			"epochs=14;days=1;@5:hydra-dissolution"},
+		{"seed_all_actions", "epochs=3;days=2;@0:churn:2.5;@1:arrive:choopa:10;@2:depart:hetzner_online", true,
+			"epochs=3;days=2;@0:churn:2.5;@1:arrive:choopa:10;@2:depart:hetzner_online"},
+		// days defaults to 1 and is always rendered explicitly.
+		{"seed_minimal", "epochs=1", true, "epochs=1;days=1"},
+		{"seed_explicit_days", "epochs=1;days=1", true, "epochs=1;days=1"},
+		{"seed_exodus", "epochs=12;days=1;@4:depart:hetzner_online;@8:churn:2", true,
+			"epochs=12;days=1;@4:depart:hetzner_online;@8:churn:2"},
+		{"seed_turbulence", "epochs=10;days=1;@2:gateway-surge;@5:aws-outage;@8:churn:0.5", true,
+			"epochs=10;days=1;@2:gateway-surge;@5:aws-outage;@8:churn:0.5"},
+		// Whitespace, clause order and non-canonical numerals normalize;
+		// events sort by epoch (stable within an epoch).
+		{"seed_whitespace", "  @2:churn:2.0 ; epochs=3 ;@1:arrive:choopa:007; days=1 ", true,
+			"epochs=3;days=1;@1:arrive:choopa:7;@2:churn:2"},
+		{"seed_same_epoch", "epochs=2;@1:x;@1:y", true, "epochs=2;days=1;@1:x;@1:y"},
+
+		{"seed_empty", "", false, ""},
+		{"seed_semicolons", ";;;", false, ""},
+		{"seed_epochs_zero", "epochs=0", false, ""},
+		{"seed_epochs_over", "epochs=129", false, ""},
+		{"seed_days_over", "epochs=2;days=31", false, ""},
+		{"seed_total_over", "epochs=128;days=30", false, ""},
+		{"seed_dup_clause", "epochs=2;epochs=3", false, ""},
+		{"seed_unknown_clause", "epochs=2;bogus=1", false, ""},
+		{"seed_event_late", "epochs=2;@2:late", false, ""},
+		{"seed_event_negative", "epochs=2;@-1:early", false, ""},
+		{"seed_event_nonnumeric", "epochs=2;@x:bad", false, ""},
+		{"seed_action_empty", "epochs=2;@1:", false, ""},
+		{"seed_arrive_short", "epochs=2;@1:arrive:choopa", false, ""},
+		{"seed_arrive_over", "epochs=2;@1:arrive:choopa:100001", false, ""},
+		// ParseFloat accepts "NaN", but NaN fails the (0, MaxChurnFactor]
+		// bound — pinned so the bound never silently loosens.
+		{"seed_churn_nan", "epochs=2;@1:churn:NaN", false, ""},
+		{"seed_churn_negative", "epochs=2;@1:churn:-1", false, ""},
+		{"seed_churn_huge", "epochs=2;@1:churn:1e308", false, ""},
+		{"seed_action_junk", "epochs=2;@1:a:b:c:d", false, ""},
+		{"seed_dup_event", "epochs=2;@1:x;@1:x", false, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Parse(tc.in)
+			if tc.ok != (err == nil) {
+				t.Fatalf("Parse(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			}
+			if !tc.ok {
+				return
+			}
+			if got := s.String(); got != tc.canon {
+				t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.canon)
+			}
+		})
+	}
+}

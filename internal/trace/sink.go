@@ -315,6 +315,16 @@ func (a *Accum) Observe(e Event) {
 // Len returns the number of events folded in.
 func (a *Accum) Len() int { return int(a.n) }
 
+// ClassCount returns the number of folded events of one class — the
+// integer counterpart of Mix, used where exact counts must survive a
+// digest (the scenario snapshot fingerprint) without float drift.
+func (a *Accum) ClassCount(cl Class) int64 {
+	if cl < 0 || cl >= classCount {
+		return 0
+	}
+	return a.class[cl]
+}
+
 // SeenPeer reports whether any folded event came from p.
 func (a *Accum) SeenPeer(p ids.PeerID) bool {
 	_, ok := a.byPeer[p]
