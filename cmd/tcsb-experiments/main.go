@@ -11,9 +11,12 @@
 //	                 [-json] [-retain-trace]
 //	tcsb-experiments -what-if hydra-dissolution[,aws-outage,...]
 //	                 [-only whatif.fig8] [-json] [...]
+//	tcsb-experiments -what-if attack.sybil-eclipse[,attack.provider-spam,...]
+//	                 [-attack-params "band=20;sybils=48"] [...]
 //	tcsb-experiments -timeline "epochs=14;@5:hydra-dissolution"
 //	                 [-epochs N] [-only timeline.population] [...]
 //	tcsb-experiments -timeline timeline.dissolution [-epochs N] [...]
+//	tcsb-experiments -timeline timeline.siege [...]
 //
 // -workers drives the observation campaign (world ticks, crawls,
 // provider-record collection) on a bounded goroutine pool; -parallel
@@ -28,6 +31,11 @@
 // rows; -epochs overrides the schedule's epoch count (alone it means a
 // drift-free "epochs=N" schedule). -days is ignored in timeline mode —
 // the schedule owns the calendar.
+// The attack.* interventions (adversarial scenarios: sybil eclipse,
+// provider-record spam, poisoned gateway stampedes, targeted
+// censorship) compose like any other -what-if entry and schedule like
+// any other @epoch event; -attack-params tunes their knobs through the
+// shared parameter grammar (see internal/attack).
 // -preset applies a named scale.* scenario (population/traffic
 // multiplier via the Config.Scaled cloning hook); it composes with
 // -scale multiplicatively. The observation path streams: vantage-point
@@ -48,6 +56,7 @@ import (
 	"strings"
 	"time"
 
+	"tcsb/internal/attack"
 	"tcsb/internal/core"
 	"tcsb/internal/counterfactual"
 	"tcsb/internal/experiments"
@@ -63,7 +72,8 @@ func main() {
 	retain := flag.Bool("retain-trace", false, "retain raw vantage-point event logs alongside the streaming statistics (costs gigabytes at default scale)")
 	days := flag.Int("days", 10, "observation days")
 	only := flag.String("only", "", "comma-separated experiment filter (e.g. table1,fig3,fig13)")
-	whatIf := flag.String("what-if", "", "comma-separated counterfactual interventions (e.g. hydra-dissolution,churn-2x); runs a paired baseline/intervention campaign and the whatif.* delta experiments")
+	whatIf := flag.String("what-if", "", "comma-separated counterfactual interventions (e.g. hydra-dissolution,churn-2x or attack.sybil-eclipse); runs a paired baseline/intervention campaign and the whatif.* delta experiments")
+	attackParams := flag.String("attack-params", "", "attack.* parameter overrides (e.g. \"band=20;sybils=48;spam=100\"); tunes any attack interventions named by -what-if or a -timeline schedule")
 	timelineSpec := flag.String("timeline", "", "epoch schedule (e.g. \"epochs=14;@5:hydra-dissolution\") or a timeline.* preset name; runs a longitudinal campaign and the timeline.* experiments")
 	epochs := flag.Int("epochs", 0, "override the -timeline schedule's epoch count (alone: a drift-free epochs=N schedule)")
 	workers := flag.Int("workers", runtime.NumCPU(), "goroutine pool size for the observation campaign (output is identical for every value)")
@@ -152,6 +162,14 @@ func main() {
 			os.Exit(2)
 		}
 		cfg = p.Apply(cfg)
+	}
+	if *attackParams != "" {
+		p, err := attack.Parse(*attackParams)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments: -attack-params:", err)
+			os.Exit(2)
+		}
+		p.Apply(&cfg)
 	}
 	cfg.Seed = *seed
 	rc := core.DefaultRunConfig()

@@ -40,6 +40,16 @@
 // conservation laws no intervention may break are property-tested in
 // internal/simtest/invariants.
 //
+// An adversarial family (internal/attack) executes the paper's
+// attack-surface map through the same machinery: attack.sybil-eclipse,
+// attack.provider-spam, attack.gateway-stampede and
+// attack.targeted-censorship register as ordinary interventions (-what-if
+// attack.*, @E:attack.* timeline epochs, the timeline.siege preset),
+// tunable via the -attack-params grammar. Each attack carries an
+// invariant contract: the attack-surface invariants it must break are
+// asserted as expected failures — a contained attack fails the suite —
+// while the rest must hold, over seeds 1–5 under the race detector.
+//
 // A timeline layer (internal/timeline) makes time a first-class axis:
 // a campaign becomes a sequence of epochs over one evolving world,
 // driven by a declarative schedule (-timeline

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	_ "tcsb/internal/attack" // registers the attack.* interventions
 	"tcsb/internal/core"
 	"tcsb/internal/counterfactual"
 	"tcsb/internal/scenario"
@@ -27,6 +28,7 @@ var paperUnits = []string{
 var whatifUnits = []string{
 	"whatif.section3", "whatif.fig3", "whatif.fig8",
 	"whatif.section5", "whatif.fig11", "whatif.fig13", "whatif.fig16",
+	"whatif.attack.surface", "whatif.attack.resilience",
 }
 
 // timelineUnits is the longitudinal catalog: epoch-by-epoch experiments
@@ -209,15 +211,15 @@ func TestCampaignWorkerDeterminism(t *testing.T) {
 	}
 
 	// The -what-if hydra-dissolution leg: independently built pairs.
-	ivs, err := counterfactual.Parse("hydra-dissolution")
-	if err != nil {
-		t.Fatal(err)
-	}
-	renderPaired := func(workers, parallel int) (string, string) {
+	renderPaired := func(spec string, workers, parallel int) (string, string) {
+		ivs, err := counterfactual.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rc := campaign.SmallRunConfig()
 		rc.Workers = workers
 		baseline, whatif := counterfactual.Observe(campaign.SmallConfig(5), rc, ivs)
-		results, err := RunPaired(baseline, whatif, []string{"hydra-dissolution"}, nil, parallel)
+		results, err := RunPaired(baseline, whatif, counterfactual.NamesOf(ivs), nil, parallel)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,8 +232,8 @@ func TestCampaignWorkerDeterminism(t *testing.T) {
 		}
 		return text.String(), jsonl.String()
 	}
-	pairSerialText, pairSerialJSON := renderPaired(1, 1)
-	pairPooledText, pairPooledJSON := renderPaired(8, 4)
+	pairSerialText, pairSerialJSON := renderPaired("hydra-dissolution", 1, 1)
+	pairPooledText, pairPooledJSON := renderPaired("hydra-dissolution", 8, 4)
 	if pairSerialText != pairPooledText {
 		t.Error("what-if text output differs between campaign workers=1 and workers=8")
 	}
@@ -243,6 +245,30 @@ func TestCampaignWorkerDeterminism(t *testing.T) {
 	}
 	if !strings.Contains(pairSerialJSON, `"experiment":"whatif.fig13"`) {
 		t.Error("paired JSONL stream is missing delta experiments")
+	}
+
+	// The attack leg: a composed adversarial campaign must honour the
+	// same stdout contract — sybil launches, record spam and gateway
+	// stampedes all run on the serial phase in tick arithmetic, so
+	// workers=1 and workers=8 render byte-identical delta streams.
+	attackSpec := "attack.sybil-eclipse,attack.provider-spam,attack.gateway-stampede"
+	attackSerialText, attackSerialJSON := renderPaired(attackSpec, 1, 1)
+	attackPooledText, attackPooledJSON := renderPaired(attackSpec, 8, 4)
+	if attackSerialText != attackPooledText {
+		t.Error("attack text output differs between campaign workers=1 and workers=8")
+	}
+	if attackSerialJSON != attackPooledJSON {
+		t.Error("attack JSONL output differs between campaign workers=1 and workers=8")
+	}
+	if !strings.Contains(attackSerialJSON,
+		`"whatif":["attack.sybil-eclipse","attack.provider-spam","attack.gateway-stampede"]`) {
+		t.Error("attack JSONL rows are not tagged with the composed intervention")
+	}
+	if !strings.Contains(attackSerialJSON, `"experiment":"whatif.attack.surface"`) {
+		t.Error("attack JSONL stream is missing the attack-surface delta experiment")
+	}
+	if !strings.Contains(attackSerialJSON, `"attacker identities minted","0","72","+72"`) {
+		t.Error("attack-surface delta does not show the minted sybil swarm")
 	}
 
 	// Streaming vs retained: RetainTrace keeps raw logs next to the

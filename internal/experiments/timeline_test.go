@@ -153,6 +153,56 @@ func TestTimelineWorkerDeterminism(t *testing.T) {
 	if _, err := core.ResumeTimeline(cfg, rcWith(1), other, prefix.Final); err == nil {
 		t.Error("checkpoint replayed under a different schedule not refused")
 	}
+
+	// The attack leg: scheduled @E:attack.* epochs inherit the same two
+	// guarantees. The checkpoint boundary (epoch 3) sits between the two
+	// attack epochs, so the resume's replay re-fires the eclipse launch
+	// — sybil minting, allocator draws, table flooding and all — and the
+	// spliced run must still render byte-identically.
+	attackSpec := "epochs=6;days=1;@2:attack.sybil-eclipse;@4:attack.provider-spam"
+	attackSch, err := counterfactual.CompileSchedule(attackSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackSerial := core.RunTimeline(cfg, rcWith(1), attackSch)
+	attackPooled := core.RunTimeline(cfg, rcWith(8), attackSch)
+	attackSerialText, attackSerialJSON := renderTimeline(t, attackSerial, 1)
+	attackPooledText, attackPooledJSON := renderTimeline(t, attackPooled, 4)
+	if attackSerialText != attackPooledText {
+		t.Error("attack timeline text output differs between campaign workers=1 and workers=8")
+	}
+	if attackSerialJSON != attackPooledJSON {
+		t.Error("attack timeline JSONL output differs between campaign workers=1 and workers=8")
+	}
+	if !strings.Contains(attackSerialText, "attack.sybil-eclipse") ||
+		!strings.Contains(attackSerialText, "attack.provider-spam") {
+		t.Error("the scheduled attacks never surfaced in the rendered output")
+	}
+	attackPrefix, err := core.RunTimelineUntil(cfg, rcWith(8), attackSch, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackResumed, err := core.ResumeTimeline(cfg, rcWith(1), attackSch, attackPrefix.Final)
+	if err != nil {
+		t.Fatalf("resume through an attack epoch failed verification: %v", err)
+	}
+	attackSpliced := &core.TimelineResult{
+		Spec:     attackResumed.Spec,
+		Schedule: attackResumed.Schedule,
+		From:     0,
+		Epochs:   append(append([]core.EpochStats(nil), attackPrefix.Epochs...), attackResumed.Epochs...),
+		Final:    attackResumed.Final,
+	}
+	attackSplicedText, attackSplicedJSON := renderTimeline(t, attackSpliced, 2)
+	if attackSplicedText != attackSerialText {
+		t.Error("attack checkpoint/resume text output differs from the straight-through run")
+	}
+	if attackSplicedJSON != attackSerialJSON {
+		t.Error("attack checkpoint/resume JSONL output differs from the straight-through run")
+	}
+	if attackResumed.Final.State.Diff(attackSerial.Final.State) != "" {
+		t.Error("attack resumed run's final snapshot diverges from the straight-through run's")
+	}
 }
 
 // TestRunTimelineSelection covers mode scoping and bounds on the

@@ -1,0 +1,112 @@
+package experiments
+
+// The adversarial delta catalog (whatif.attack.*): paired experiments
+// that quantify what an attack.* intervention does to the measured
+// world. Like every whatif.* entry they run under RunPaired over a
+// shared worker pool, so both read the finished campaigns through PURE
+// observers only — routing-table reads, provider-store censuses,
+// gateway counters, crawl series — never live probes (a probe RPC
+// would race the concurrently running experiment pool on the network's
+// message counters). The probe-based views of the same attacks live in
+// the invariant contract suite, which runs them on the serial path.
+//
+// The package deliberately does not import internal/attack: the rows
+// read whatever adversarial state the world carries, and render
+// all-zero deltas when an intervention stream contains no attack.
+
+import (
+	"tcsb/internal/core"
+	"tcsb/internal/report"
+	"tcsb/internal/scenario"
+)
+
+func init() {
+	Register(Experiment{
+		Name:        "whatif.attack.surface",
+		Section:     "adversarial, attack.* family",
+		Description: "attack footprint: sybil capture of resolver tables, spam records, poisoned responses",
+		Delta:       deltaAttackSurface,
+	})
+	Register(Experiment{
+		Name:        "whatif.attack.resilience",
+		Section:     "adversarial, attack.* family",
+		Description: "collateral on the measured world: crawl population, gateway load, ledger stress",
+		Delta:       deltaAttackResilience,
+	})
+}
+
+// attackSurface is the pure-read census of a world's adversarial state.
+type attackSurface struct {
+	sybilEntries   int // attacker entries in target-neighbourhood routing tables
+	attackers      int // minted sybil identities
+	spamRecords    int // live provider records naming the spammer
+	poisonedServed int // gateway responses served from poisoned cache entries
+	targets        int // targeted CIDs (actual or default-derived)
+	backed         int // targets still backed by their publisher
+}
+
+func surveyAttack(w *scenario.World) attackSurface {
+	s := attackSurface{attackers: len(w.AttackerIDs())}
+	targets := w.AttackTargets()
+	s.targets = len(targets)
+	for _, c := range targets {
+		s.sybilEntries += w.SybilResolverEntries(c)
+		if owner, _, _, ok := w.ContentInfo(c); ok && w.PublisherBacks(c, owner) {
+			s.backed++
+		}
+	}
+	s.spamRecords = w.SpamRecordTotal()
+	s.poisonedServed = int(w.PoisonedServedTotal())
+	return s
+}
+
+func deltaAttackSurface(b, w *core.Observatory) []*report.Table {
+	sb, sw := surveyAttack(b.World), surveyAttack(w.World)
+	t := deltaTable("What-if attack surface — adversarial footprint")
+	addCount(t, "attacker identities minted", sb.attackers, sw.attackers)
+	addCount(t, "sybil entries in target resolver tables", sb.sybilEntries, sw.sybilEntries)
+	addCount(t, "spam provider records stored", sb.spamRecords, sw.spamRecords)
+	addCount(t, "poisoned gateway responses served", sb.poisonedServed, sw.poisonedServed)
+	addCount(t, "targeted CIDs", sb.targets, sw.targets)
+	addCount(t, "targets still publisher-backed", sb.backed, sw.backed)
+	return []*report.Table{t}
+}
+
+func deltaAttackResilience(b, w *core.Observatory) []*report.Table {
+	s3b, s3w := b.Section3(), w.Section3()
+	t := deltaTable("What-if attack resilience — collateral on the measured world")
+	// Crawl-visible population: an eclipse swarm inflates it, and the
+	// paper's methodology would count the sybils as participants.
+	addFloat(t, "mean discovered/crawl", s3b.MeanDiscovered, s3w.MeanDiscovered)
+	addCount(t, "unique peer IDs", s3b.UniquePeers, s3w.UniquePeers)
+	// Gateway load and cache behaviour under a stampede.
+	gwReq := func(o *core.Observatory) (req, hits int) {
+		for _, gw := range o.World.Gateways {
+			req += int(gw.Requests)
+			hits += int(gw.CacheHits)
+		}
+		return
+	}
+	reqB, hitsB := gwReq(b)
+	reqW, hitsW := gwReq(w)
+	addCount(t, "gateway HTTP requests", reqB, reqW)
+	addCount(t, "gateway cache hits", hitsB, hitsW)
+	// Provider-record ledger stress under spam: created/pruned churn.
+	ledger := func(o *core.Observatory) (created, pruned, stored int) {
+		for _, id := range o.World.ServerIDs() {
+			st := o.World.Actors[id].Node.ProviderStats()
+			created += int(st.Created)
+			pruned += int(st.Pruned)
+			stored += int(st.Stored)
+		}
+		return
+	}
+	cB, pB, stB := ledger(b)
+	cW, pW, stW := ledger(w)
+	addCount(t, "provider records created", cB, cW)
+	addCount(t, "provider records pruned", pB, pW)
+	addCount(t, "provider records stored", stB, stW)
+	// Censorship takedowns.
+	addCount(t, "actors pinned offline", b.World.PinnedOfflineCount(), w.World.PinnedOfflineCount())
+	return []*report.Table{t}
+}

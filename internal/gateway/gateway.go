@@ -24,10 +24,17 @@ type Gateway struct {
 	nodes       []*node.Node
 	next        int
 	cache       map[ids.CID]bool
+	// poisoned marks cache entries planted by an attacker (the
+	// gateway-stampede scenario): the entry answers like a normal hit,
+	// but the bytes served are not the content the CID names.
+	poisoned map[ids.CID]bool
 	// Requests counts HTTP-side fetches (cache hits included).
 	Requests int64
 	// CacheHits counts fetches answered from the HTTP-side cache.
 	CacheHits int64
+	// PoisonedServed counts cache hits answered from a poisoned entry —
+	// every one is an integrity failure served to a client.
+	PoisonedServed int64
 }
 
 // New creates a gateway serving the given domain from the given overlay
@@ -97,6 +104,9 @@ func (g *Gateway) FetchHTTPNodeVia(env *netsim.Effects, c ids.CID, online func(i
 	}
 	if g.cache[c] {
 		g.CacheHits++
+		if g.poisoned[c] {
+			g.PoisonedServed++
+		}
 		return true, nil
 	}
 	nd := g.nextOnline(online)
@@ -106,6 +116,22 @@ func (g *Gateway) FetchHTTPNodeVia(env *netsim.Effects, c ids.CID, online func(i
 	}
 	return res.Found, nd
 }
+
+// Poison plants a poisoned cache entry for c: subsequent fetches hit
+// the cache and serve attacker-controlled bytes. Idempotent. A real
+// cache-poisoning attack tricks the gateway into caching a bogus
+// response for a popular path; the model skips the trick and plants the
+// outcome directly.
+func (g *Gateway) Poison(c ids.CID) {
+	if g.poisoned == nil {
+		g.poisoned = make(map[ids.CID]bool)
+	}
+	g.poisoned[c] = true
+	g.cache[c] = true
+}
+
+// PoisonedCIDs reports how many poisoned entries the cache holds.
+func (g *Gateway) PoisonedCIDs() int { return len(g.poisoned) }
 
 // hasOnline reports whether any backend is online, without moving the
 // round-robin cursor (cache hits must not advance it).

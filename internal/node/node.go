@@ -425,3 +425,15 @@ func (n *Node) ProviderRecordCount() int {
 func (n *Node) ProviderStats() ProviderStats {
 	return n.providers.Stats()
 }
+
+// ProviderRecordsFrom counts the live records held whose provider is p
+// (the attack invariants census spam records with it). Pure read.
+func (n *Node) ProviderRecordsFrom(p ids.PeerID) int {
+	return n.providers.CountFrom(p, n.net.Clock.Now())
+}
+
+// ProvidersOf returns the live provider records held for c, in
+// deterministic (provider-key) order. Pure read.
+func (n *Node) ProvidersOf(c ids.CID) []netsim.ProviderRecord {
+	return n.providers.Get(c, n.net.Clock.Now())
+}

@@ -121,6 +121,18 @@ func (s *ProviderStore) Len(now netsim.Time) int {
 // (possibly expired) record.
 func (s *ProviderStore) CIDs() int { return len(s.recs) }
 
+// CountFrom counts the unexpired records at time now whose provider is
+// p. Pure read; the attack invariants use it to census spam records.
+func (s *ProviderStore) CountFrom(p ids.PeerID, now netsim.Time) int {
+	total := 0
+	for _, m := range s.recs {
+		if rec, ok := m[p]; ok && now-rec.Received < s.ttl {
+			total++
+		}
+	}
+	return total
+}
+
 // Stats returns the conservation ledger: Stored == Created − Pruned
 // always holds (the property suite asserts it across whole worlds).
 func (s *ProviderStore) Stats() ProviderStats {

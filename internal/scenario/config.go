@@ -105,6 +105,46 @@ type Config struct {
 	// consumers that genuinely need raw events (event-level diffing,
 	// external tooling, the sink-vs-log equivalence suite).
 	RetainTrace bool
+
+	// Attack configures the adversarial attack.* scenario family
+	// (attack.go). The zero value means no attack; interventions flip
+	// the switches and LaunchAttacks reads the parameters.
+	Attack AttackConfig
+}
+
+// AttackConfig selects and parameterizes the adversarial scenarios.
+// All fields are value-typed so Config.Clone covers them, and the whole
+// struct is pinned by the snapshot's canonical config hash — a timeline
+// epoch that flips a switch mid-run changes every subsequent digest.
+type AttackConfig struct {
+	// Eclipse launches the sybil-eclipse attack: reachable sybil swarms
+	// minted in a keyspace band around each target CID flood the
+	// resolver-neighbourhood routing tables.
+	Eclipse bool
+	// Spam launches provider-record flooding from an unreachable
+	// spammer identity, stressing the Created/Pruned/Stored expiry
+	// ledger of the targeted resolvers.
+	Spam bool
+	// Stampede launches hot-CID request surges against the public
+	// gateways with cache-poisoned responses for the target CIDs.
+	Stampede bool
+	// Censor launches the targeted-censorship composite: the eclipse
+	// plus a permanent outage of the platform cluster owning each
+	// target CID.
+	Censor bool
+
+	// Parameters. Zero selects the per-attack default (attack.Defaults).
+	Band            int // min common-prefix bits shared by sybil keys and their target
+	SybilsPerTarget int // sybil identities minted per target CID
+	Targets         int // number of targeted CIDs (head of the persistent catalogue)
+	SpamPerTick     int // distinct spam CIDs advertised per tick
+	StampedePerTick int // gateway requests for target CIDs per tick
+	PoisonCIDs      int // number of target CIDs whose gateway cache entries are poisoned
+}
+
+// Any reports whether any attack is switched on.
+func (a AttackConfig) Any() bool {
+	return a.Eclipse || a.Spam || a.Stampede || a.Censor
 }
 
 // DefaultConfig returns the laptop-scale calibration used by the

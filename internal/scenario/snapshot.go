@@ -70,11 +70,13 @@ var worldSnapshotFields = map[string]string{
 	"Gateways": "count, domains and served totals",
 	"IPFSBank": "covered by the Gateways walk (it is a member)",
 	"bankIdx":  "hashed directly",
-	"catalog":  "every entry: cid, owner, born/die ticks, persistence",
-	"live":     "live index list",
-	"tick":     "hashed directly",
-	"peerSeq":  "hashed directly",
-	"cidSeq":   "hashed directly",
+	"catalog":       "every entry: cid, owner, born/die ticks, persistence",
+	"live":          "live index list",
+	"tick":          "hashed directly",
+	"peerSeq":       "hashed directly",
+	"cidSeq":        "hashed directly",
+	"attackTargets": "targeted CID list (set once per attack launch)",
+	"attackers":     "minted sybil identities in creation order",
 }
 
 // worldSnapshotExcluded lists every World field the digest deliberately
@@ -92,6 +94,7 @@ var worldSnapshotExcluded = map[string]string{
 	"zipf":          "derived from catalogue size and the replayed RNG stream",
 	"zipfTail":      "derived from catalogue size and the replayed RNG stream",
 	"viewsBuf":      "per-tick scratch, semantically empty between ticks",
+	"attackerSet":   "membership index derived from attackers",
 }
 
 // Snapshot fingerprints the world's current state. It is read-only and
@@ -234,6 +237,19 @@ func (w *World) Snapshot() Snapshot {
 		str(gw.Domain())
 		i64(gw.Requests)
 		i64(gw.CacheHits)
+		i64(gw.PoisonedServed)
+	}
+
+	// Adversarial state (attack.go): targets and sybil identities.
+	u64(uint64(len(w.attackTargets)))
+	for _, c := range w.attackTargets {
+		k := c.Key()
+		h.Write(k[:])
+	}
+	u64(uint64(len(w.attackers)))
+	for _, id := range w.attackers {
+		k := id.Key()
+		h.Write(k[:])
 	}
 
 	// Network totals.

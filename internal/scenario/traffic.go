@@ -62,6 +62,10 @@ func (w *World) StepTick() {
 	w.stepPlatformAdvertise()
 	w.drainHydras()
 
+	// Phase 5: sustained adversarial traffic (attack.go) — serial and
+	// RNG-free, a pure function of the tick.
+	w.stepAttackTraffic()
+
 	if w.tick%TicksPerDay == TicksPerDay-1 {
 		w.refreshTopology()
 		// The catalogue grew; rebuild the popularity samplers over it so

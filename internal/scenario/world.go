@@ -116,6 +116,14 @@ type World struct {
 	peerSeq uint64
 	cidSeq  uint64
 
+	// Adversarial state planted by LaunchAttacks (attack.go): the
+	// targeted CIDs, the minted sybil identities in creation order, and
+	// the membership set behind IsAttacker. Attackers are network hosts
+	// but never Actors — the census invariants depend on the separation.
+	attackTargets []ids.CID
+	attackers     []ids.PeerID
+	attackerSet   map[ids.PeerID]bool
+
 	// viewsBuf backs shardViews (reused across tick phases).
 	viewsBuf []shardView
 }

@@ -1,0 +1,131 @@
+package invariants
+
+// Attack-surface invariants and the contract harness for the attack.*
+// scenario family (internal/attack). Where CheckWorld asserts laws that
+// survive every intervention, the attack-surface checks are exactly the
+// laws an attack is *supposed* to break: each attack ships a contract
+// naming the checks it must break and the checks it must leave intact,
+// and EvaluateContract turns "expected to break" into an assertion —
+// a breakage that fails to appear is a failure (the attack no-op'd),
+// not a pass.
+
+import (
+	"tcsb/internal/scenario"
+)
+
+// The attack-surface invariant names. internal/attack's contracts
+// reference these; keeping them as constants pins the vocabulary.
+const (
+	// InvResolverHorizon: no attacker identity appears in the K-closest
+	// horizon a neutral DHT walk converges on for any targeted CID — the
+	// resolver set an ordinary client would trust.
+	InvResolverHorizon = "resolver-horizon-purity"
+	// InvCrawlPurity: a fresh crawl of the network discovers no
+	// adversarial identities (sybils or the spammer).
+	InvCrawlPurity = "crawl-identity-purity"
+	// InvSpamQuiescence: no provider record anywhere names the spammer
+	// identity as provider.
+	InvSpamQuiescence = "spam-quiescence"
+	// InvGatewayIntegrity: no gateway has served a response from a
+	// poisoned cache entry.
+	InvGatewayIntegrity = "gateway-response-integrity"
+	// InvTargetLiveness: every targeted CID is still backed by its
+	// publisher — at least one unexpired provider record names an online
+	// member of the owning platform cluster (or the owner itself for
+	// non-platform content). User re-providers don't count: the check
+	// asks whether the *publisher* can still be censored away.
+	InvTargetLiveness = "targeted-provider-liveness"
+)
+
+// attackProbeCrawlID labels the fresh crawl CheckAttackSurface runs
+// (well clear of the campaign's daily crawl IDs).
+const attackProbeCrawlID = 1 << 20
+
+// CheckAttackSurface verifies the adversarial-pressure invariants on a
+// world. On a clean world every check holds; under an attack.*
+// intervention the attack's contract says which must break. The horizon
+// and crawl checks run live probes (an unattached walker identity and a
+// fresh crawl), so this must be called from the serial path, like
+// Snapshot — and unlike CheckWorld it advances RPC counters, so callers
+// interleaving it with checkpoint verification must account for that.
+func CheckAttackSurface(w *scenario.World) []Violation {
+	var vs violations
+	targets := w.AttackTargets()
+	spammer := w.SpammerID()
+
+	// resolver-horizon-purity: walk toward each target from honest seeds.
+	for _, c := range targets {
+		for _, p := range w.LookupClosest(c.Key()) {
+			if w.IsAttacker(p) {
+				vs.addf(InvResolverHorizon, "target %s: attacker %s in the lookup horizon",
+					c.Short(), p.Short())
+				break
+			}
+		}
+	}
+
+	// crawl-identity-purity: fresh crawl, census the discovered set.
+	snap := w.Crawl(attackProbeCrawlID)
+	adversarial := 0
+	for p := range snap.Peers {
+		if w.IsAttacker(p) || p == spammer {
+			adversarial++
+		}
+	}
+	if adversarial > 0 {
+		vs.addf(InvCrawlPurity, "crawl discovered %d adversarial identities among %d peers",
+			adversarial, snap.Discovered())
+	}
+
+	// spam-quiescence: no store holds a record naming the spammer.
+	if n := w.SpamRecordTotal(); n > 0 {
+		vs.addf(InvSpamQuiescence, "%d live provider records name the spammer %s",
+			n, spammer.Short())
+	}
+
+	// gateway-response-integrity: poisoned cache entries served.
+	if n := w.PoisonedServedTotal(); n > 0 {
+		vs.addf(InvGatewayIntegrity, "gateways served %d responses from poisoned cache entries", n)
+	}
+
+	// targeted-provider-liveness: the publisher still backs each target.
+	for _, c := range targets {
+		owner, _, _, ok := w.ContentInfo(c)
+		if !ok {
+			vs.addf(InvTargetLiveness, "target %s is not in the catalogue", c.Short())
+			continue
+		}
+		if !w.PublisherBacks(c, owner) {
+			vs.addf(InvTargetLiveness, "target %s: no online publisher-cluster record remains",
+				c.Short())
+		}
+	}
+
+	return vs
+}
+
+// EvaluateContract checks a violation set against an attack's contract:
+// every invariant in mustBreak needs at least one violation (an attack
+// that fails to break what it attacks has silently no-op'd — the
+// ConstructionOnly bug class), and no invariant in mustHold may have
+// any. The returned strings are the contract failures, empty on
+// conformance. Invariants in neither list are unconstrained.
+func EvaluateContract(vs []Violation, mustBreak, mustHold []string) []string {
+	broken := make(map[string][]Violation)
+	for _, v := range vs {
+		broken[v.Invariant] = append(broken[v.Invariant], v)
+	}
+	var failures []string
+	for _, name := range mustBreak {
+		if len(broken[name]) == 0 {
+			failures = append(failures,
+				"invariant "+name+" was expected to break but held (attack no-op?)")
+		}
+	}
+	for _, name := range mustHold {
+		for _, v := range broken[name] {
+			failures = append(failures, "invariant "+name+" was expected to hold but broke: "+v.Detail)
+		}
+	}
+	return failures
+}

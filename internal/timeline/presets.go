@@ -43,6 +43,12 @@ var presetFamily = []Preset{
 		Description: "gateway usage doubles, AWS goes dark, then the residential fringe " +
 			"calms — three regime changes in ten epochs",
 	},
+	{
+		Name: "timeline.siege",
+		Spec: "epochs=8;days=1;@2:attack.sybil-eclipse;@4:attack.provider-spam;@6:attack.gateway-stampede",
+		Description: "an adversary escalates epoch by epoch: sybil eclipse, then provider-record " +
+			"spam, then a poisoned gateway stampede — the attack.* family as a longitudinal siege",
+	},
 }
 
 // Presets returns the timeline.* family in registration order.
