@@ -36,6 +36,7 @@ import (
 	"tcsb/internal/scenario"
 	"tcsb/internal/simtest"
 	"tcsb/internal/simtest/campaign"
+	"tcsb/internal/trace"
 )
 
 // benchObservatory returns the shared campaign fixture (built once per
@@ -71,6 +72,25 @@ func BenchmarkCampaign(b *testing.B) {
 			}
 		})
 	}
+	// The network-realism row: the same campaign under the net.measured
+	// link profile. Impairment draws and timing-sink folds happen on
+	// every RPC, so the delta against workers-8 is the whole cost of the
+	// latency layer; memory must stay flat — the latency.* figures come
+	// out of fixed-size sketches, never a retained timing trace.
+	b.Run("net-measured-workers-8", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := scenario.DefaultConfig()
+			cfg.Seed = 1
+			cfg.NetProfile = "net.measured"
+			rc := core.DefaultRunConfig()
+			rc.Workers = 8
+			o := core.Observe(cfg, rc)
+			if o.World.Timing.Sketch(trace.PhaseGateway).Count() == 0 {
+				b.Fatal("no gateway latency samples folded")
+			}
+		}
+	})
 }
 
 // benchTimelineResult builds (once per process) the small longitudinal

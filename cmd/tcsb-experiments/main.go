@@ -8,7 +8,7 @@
 //	tcsb-experiments -list
 //	tcsb-experiments [-seed N] [-scale F | -preset scale.4x] [-days N]
 //	                 [-only fig3,fig13] [-workers N] [-parallel N]
-//	                 [-json] [-retain-trace]
+//	                 [-json] [-retain-trace] [-net-profile net.measured]
 //	tcsb-experiments -what-if hydra-dissolution[,aws-outage,...]
 //	                 [-only whatif.fig8] [-json] [...]
 //	tcsb-experiments -what-if attack.sybil-eclipse[,attack.provider-spam,...]
@@ -36,6 +36,14 @@
 // censorship) compose like any other -what-if entry and schedule like
 // any other @epoch event; -attack-params tunes their knobs through the
 // shared parameter grammar (see internal/attack).
+// -net-profile selects the per-link impairment model (net.ideal /
+// net.measured / net.degraded, or a raw "pair=delay±jitter,loss=p"
+// spec): every RPC, gateway fetch and crawl wave then accrues simulated
+// latency and loss, folded into the latency.* experiments' percentile
+// sketches. The default (net.ideal) is the exact zero-latency identity.
+// The net.* names also compose as interventions: -what-if net.degraded
+// pairs ideal vs degraded worlds, and a timeline "@E:net.degraded"
+// epoch swaps the model mid-run.
 // -preset applies a named scale.* scenario (population/traffic
 // multiplier via the Config.Scaled cloning hook); it composes with
 // -scale multiplicatively. The observation path streams: vantage-point
@@ -60,6 +68,7 @@ import (
 	"tcsb/internal/core"
 	"tcsb/internal/counterfactual"
 	"tcsb/internal/experiments"
+	"tcsb/internal/netsim"
 	"tcsb/internal/report"
 	"tcsb/internal/scenario"
 	"tcsb/internal/timeline"
@@ -70,6 +79,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "population scale factor (1.0 ≈ 1/12 of the real network)")
 	preset := flag.String("preset", "", "named scale.* scenario preset (e.g. scale.4x); composes with -scale")
 	retain := flag.Bool("retain-trace", false, "retain raw vantage-point event logs alongside the streaming statistics (costs gigabytes at default scale)")
+	netProfile := flag.String("net-profile", "", "per-link impairment model: a net.* preset (net.ideal, net.measured, net.degraded) or a raw spec like \"cloud-cloud=5ms±2;resi-cloud=40ms±15,loss=0.02\"; empty = net.ideal (zero latency)")
 	days := flag.Int("days", 10, "observation days")
 	only := flag.String("only", "", "comma-separated experiment filter (e.g. table1,fig3,fig13)")
 	whatIf := flag.String("what-if", "", "comma-separated counterfactual interventions (e.g. hydra-dissolution,churn-2x or attack.sybil-eclipse); runs a paired baseline/intervention campaign and the whatif.* delta experiments")
@@ -88,6 +98,8 @@ func main() {
 		fmt.Println(interventionList())
 		fmt.Println()
 		fmt.Println(presetList())
+		fmt.Println()
+		fmt.Println(netPresetList())
 		fmt.Println()
 		fmt.Println(timelinePresetList())
 		return
@@ -170,6 +182,15 @@ func main() {
 			os.Exit(2)
 		}
 		p.Apply(&cfg)
+	}
+	if *netProfile != "" {
+		// Validate before paying for the simulation; world construction
+		// treats an invalid profile as a programming error.
+		if _, err := netsim.ResolveLinkProfile(*netProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments: -net-profile:", err)
+			os.Exit(2)
+		}
+		cfg.NetProfile = *netProfile
 	}
 	cfg.Seed = *seed
 	rc := core.DefaultRunConfig()
@@ -264,6 +285,18 @@ func presetList() *report.Table {
 	}
 	for _, p := range scenario.ScalePresets() {
 		t.AddRow(p.Name, p.Description)
+	}
+	return t
+}
+
+// netPresetList renders the net.* link-profile family for -list.
+func netPresetList() *report.Table {
+	t := &report.Table{
+		Title:   "Network profiles (-net-profile; also -what-if / @epoch composable as net.*)",
+		Columns: []string{"name", "spec", "description"},
+	}
+	for _, p := range netsim.LinkPresets() {
+		t.AddRow(p.Name, p.Spec, p.Description)
 	}
 	return t
 }

@@ -50,6 +50,21 @@
 // asserted as expected failures — a contained attack fails the suite —
 // while the rest must hold, over seeds 1–5 under the race detector.
 //
+// A network-realism layer (internal/netsim LinkProfile) adds a
+// deterministic per-link impairment model: every RPC crosses a
+// (cloud/residential × cloud/residential) link pair and draws a delay ±
+// jitter and a loss verdict from lane-seeded streams, accruing virtual
+// (never wall) time. Profiles parse from a canonical grammar
+// ("cloud-cloud=5ms±2;resi-cloud=40ms±15,loss=0.02") with named presets
+// — net.ideal (identity, bit-identical to the unimpaired engine),
+// net.measured, net.degraded — selected via -net-profile or
+// scenario.Config.NetProfile, and schedulable as what-ifs and timeline
+// epochs (@E:net.degraded). Per-phase durations fold into bounded
+// percentile sketches (internal/stats.Sketch via trace.TimingSink),
+// rendered by the latency.* experiments; the conservation laws (loss
+// accounting, virtual-clock monotonicity, sketch-vs-exact equivalence)
+// are property-tested in internal/simtest/invariants.
+//
 // A timeline layer (internal/timeline) makes time a first-class axis:
 // a campaign becomes a sequence of epochs over one evolving world,
 // driven by a declarative schedule (-timeline

@@ -161,6 +161,7 @@ func ObserveWorld(w *scenario.World, rc RunConfig) *Observatory {
 	// Gateway identification probes via the monitor (serial: each probe
 	// reads its own planted content's trace back from the shared log).
 	prober := gwprobe.New(w.Monitor, uint64(w.Cfg.Seed)<<32+0x9a7e, w.Net.Online)
+	prober.Instrument(w.Net, w.Timing)
 	o.Census = prober.Census(w.PublicGateways(), rc.GatewayProbeRounds)
 	o.GatewaySet = gwprobe.GatewayPeerSet(o.Census)
 

@@ -284,4 +284,25 @@ func init() {
 			c.RegenerateIDProb = clamp(c.RegenerateIDProb * 2)
 		},
 	})
+	// Network-realism presets (netsim.LinkPresets). As interventions
+	// they compose with what-if pairs and timeline epochs: an
+	// "@E:net.degraded" epoch swaps the link model mid-run without
+	// disturbing the draw streams (scenario.ApplyRewrite re-installs).
+	Register(Intervention{
+		Name:        "net.ideal",
+		Description: "zero-latency, lossless links — the identity network model (the default)",
+		Rewrite:     func(c *scenario.Config) { c.NetProfile = "net.ideal" },
+	})
+	Register(Intervention{
+		Name: "net.measured",
+		Description: "links impaired to the measured-Internet calibration: cloud paths " +
+			"fast and clean, residential paths slower and lossier",
+		Rewrite: func(c *scenario.Config) { c.NetProfile = "net.measured" },
+	})
+	Register(Intervention{
+		Name: "net.degraded",
+		Description: "links impaired to a congested-Internet calibration: high delay, " +
+			"jitter and loss on every pair class",
+		Rewrite: func(c *scenario.Config) { c.NetProfile = "net.degraded" },
+	})
 }

@@ -119,7 +119,15 @@ type Snapshot struct {
 	ModeledDurationSec float64
 	// ModeledWaitSec is the part of the duration spent on dial timeouts.
 	ModeledWaitSec float64
+	// LinkLatencyUS is the cumulative virtual link latency (µs) the
+	// netsim impairment model charged across every sweep wave. Zero
+	// under the identity profile; orthogonal to the ModeledDuration
+	// worker-pool estimate, which predates the link model.
+	LinkLatencyUS int64
 }
+
+// LinkLatencySec returns the cumulative drawn link latency in seconds.
+func (s *Snapshot) LinkLatencySec() float64 { return float64(s.LinkLatencyUS) / 1e6 }
 
 // Discovered returns the number of peers seen (crawlable or not).
 func (s *Snapshot) Discovered() int { return len(s.Peers) }
@@ -145,9 +153,10 @@ func (s *Snapshot) Get(p ids.PeerID) *Observation { return s.Peers[p] }
 // peer would have answered, without materializing a PeerInfo per
 // response entry.
 type sweepResult struct {
-	contacts []ids.PeerID
-	rpcs     int
-	err      error
+	contacts  []ids.PeerID
+	rpcs      int
+	elapsedUS int64
+	err       error
 }
 
 // Crawl performs one full crawl of the network reachable from seeds.
@@ -202,6 +211,7 @@ func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 			o := snap.Peers[p]
 			o.SweepRPCs = r.rpcs
 			snap.RPCs += r.rpcs
+			snap.LinkLatencyUS += r.elapsedUS
 			if r.err != nil {
 				o.Crawlable = false
 				o.DialError = r.err.Error()
@@ -233,6 +243,7 @@ func sweep(net *netsim.Network, env *netsim.Effects, cfg Config, p ids.PeerID) s
 	sc := sweepScratchFor(env)
 	clear(sc.seen)
 	var res sweepResult
+	mark := net.LatencyMark(env)
 	emptyRun := 0
 	for cpl := 0; cpl < cfg.MaxCPL && emptyRun < cfg.EmptySweeps; cpl++ {
 		// A target differing from p's key in exactly bit `cpl` lands in
@@ -242,7 +253,8 @@ func sweep(net *netsim.Network, env *netsim.Effects, cfg Config, p ids.PeerID) s
 		peers, err := net.FindNodeVia(env, sc.closer[:0], cfg.CrawlerID, p, target)
 		sc.closer = peers[:0]
 		if err != nil {
-			return sweepResult{rpcs: res.rpcs, err: fmt.Errorf("dial %s: %w", p.Short(), err)}
+			return sweepResult{rpcs: res.rpcs, elapsedUS: net.LatencyMark(env) - mark,
+				err: fmt.Errorf("dial %s: %w", p.Short(), err)}
 		}
 		newPeers := 0
 		for _, pi := range peers {
@@ -259,6 +271,7 @@ func sweep(net *netsim.Network, env *netsim.Effects, cfg Config, p ids.PeerID) s
 			emptyRun = 0
 		}
 	}
+	res.elapsedUS = net.LatencyMark(env) - mark
 	return res
 }
 

@@ -21,6 +21,7 @@ var paperUnits = []string{
 	"fig9", "fig10", "fig11", "fig12", "fig13",
 	"fig14", "fig15", "fig16",
 	"fig17", "fig18", "fig19", "fig20",
+	"latency.gateway", "latency.lookup", "latency.crawl",
 }
 
 // whatifUnits is the counterfactual delta catalog: paired experiments
@@ -284,6 +285,38 @@ func TestCampaignWorkerDeterminism(t *testing.T) {
 	}
 	if retainedJSON != serialJSON {
 		t.Error("JSONL output differs between streaming and retained-trace campaigns")
+	}
+
+	// The net.measured leg: impaired links draw from per-(lane, seq)
+	// hash streams, so the stdout contract survives latency and loss —
+	// workers=1 and workers=8 render byte-identical catalogs.
+	netObservatory := func(profile string, workers int) *core.Observatory {
+		cfg := campaign.SmallConfig(5)
+		cfg.NetProfile = profile
+		rc := campaign.SmallRunConfig()
+		rc.Workers = workers
+		return core.Observe(cfg, rc)
+	}
+	netSerialText, netSerialJSON := renderAll(t, netObservatory("net.measured", 1), 1)
+	netPooledText, netPooledJSON := renderAll(t, netObservatory("net.measured", 8), 4)
+	if netSerialText != netPooledText {
+		t.Error("net.measured text output differs between campaign workers=1 and workers=8")
+	}
+	if netSerialJSON != netPooledJSON {
+		t.Error("net.measured JSONL output differs between campaign workers=1 and workers=8")
+	}
+	if netSerialText == serialText {
+		t.Error("net.measured campaign rendered the ideal campaign's bytes — the link model is not biting")
+	}
+
+	// And the acceptance pin: an explicit net.ideal profile is the exact
+	// identity — byte-for-byte the default campaign's output.
+	idealText, idealJSON := renderAll(t, netObservatory("net.ideal", 1), 1)
+	if idealText != serialText {
+		t.Error("explicit net.ideal text differs from the default campaign")
+	}
+	if idealJSON != serialJSON {
+		t.Error("explicit net.ideal JSONL differs from the default campaign")
 	}
 }
 

@@ -1,0 +1,78 @@
+package experiments
+
+// The latency.* family reports the virtual-time figures of the network
+// realism layer: per-phase quantiles drawn from the world's bounded
+// timing sketches (never from a retained raw trace), plus the link
+// model's loss-conservation counters. Under the default net.ideal
+// profile every figure is zero — the zero-latency model is the
+// identity; select -net-profile net.measured (or a raw spec) to get
+// non-trivial rows.
+
+import (
+	"fmt"
+
+	"tcsb/internal/core"
+	"tcsb/internal/report"
+	"tcsb/internal/trace"
+)
+
+func init() {
+	Register(Experiment{
+		Name:        "latency.gateway",
+		Section:     "network realism",
+		Description: "gateway fetch latency quantiles under the configured link profile",
+		Run:         runLatencyGateway,
+	})
+	Register(Experiment{
+		Name:        "latency.lookup",
+		Section:     "network realism",
+		Description: "direct DHT retrieval latency quantiles under the configured link profile",
+		Run:         runLatencyLookup,
+	})
+	Register(Experiment{
+		Name:        "latency.crawl",
+		Section:     "network realism",
+		Description: "per-crawl cumulative link latency quantiles under the configured link profile",
+		Run:         runLatencyCrawl,
+	})
+}
+
+func runLatencyGateway(o *core.Observatory) []*report.Table {
+	return latencyTables(o, trace.PhaseGateway,
+		"latency.gateway — public-gateway fetch latency (virtual, per request)")
+}
+
+func runLatencyLookup(o *core.Observatory) []*report.Table {
+	return latencyTables(o, trace.PhaseLookup,
+		"latency.lookup — direct DHT retrieval latency (virtual, per request)")
+}
+
+func runLatencyCrawl(o *core.Observatory) []*report.Table {
+	return latencyTables(o, trace.PhaseCrawl,
+		"latency.crawl — cumulative link latency per crawl (virtual)")
+}
+
+// latencyTables renders one phase's sketch plus the shared link-model
+// counters. All quantiles come out of the fixed-size sketch, so the
+// table costs the same at every campaign scale.
+func latencyTables(o *core.Observatory, phase trace.Phase, title string) []*report.Table {
+	w := o.World
+	sk := w.Timing.Sketch(phase)
+	ms := func(us float64) string { return fmt.Sprintf("%.3f", us/1000) }
+	t := &report.Table{
+		Title:   title,
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("link profile", w.Net.LinkModel().String())
+	t.AddRow("samples", sk.Count())
+	t.AddRow("p50 (ms)", ms(sk.Quantile(50)))
+	t.AddRow("p90 (ms)", ms(sk.Quantile(90)))
+	t.AddRow("p95 (ms)", ms(sk.Quantile(95)))
+	t.AddRow("p99 (ms)", ms(sk.Quantile(99)))
+	t.AddRow("jitter p90-p10 (ms)", ms(sk.Jitter()))
+	t.AddRow("mean (ms)", ms(sk.Mean()))
+	issued, dropped, delivered := w.Net.LinkStats()
+	t.AddRow("link RPCs (issued/dropped/delivered)",
+		fmt.Sprintf("%d/%d/%d", issued, dropped, delivered))
+	return []*report.Table{t}
+}

@@ -203,6 +203,62 @@ func TestTimelineWorkerDeterminism(t *testing.T) {
 	if attackResumed.Final.State.Diff(attackSerial.Final.State) != "" {
 		t.Error("attack resumed run's final snapshot diverges from the straight-through run's")
 	}
+
+	// The network-realism leg: scheduled @E:net.* epochs swap the link
+	// impairment model mid-run (ApplyRewrite re-installs it without
+	// resetting the draw streams). The checkpoint boundary (epoch 3)
+	// sits after the @2 net.degraded swap, so the resume's replay
+	// re-fires it — impairment draws, loss, timing-sink folds and all —
+	// and both the worker pools and the splice must render
+	// byte-identically. The final snapshot digests the link counters and
+	// sketches, so any divergence in the latency layer is caught here.
+	netSpec := "epochs=6;days=1;@2:net.degraded;@4:net.measured"
+	netSch, err := counterfactual.CompileSchedule(netSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netSerial := core.RunTimeline(cfg, rcWith(1), netSch)
+	netPooled := core.RunTimeline(cfg, rcWith(8), netSch)
+	netSerialText, netSerialJSON := renderTimeline(t, netSerial, 1)
+	netPooledText, netPooledJSON := renderTimeline(t, netPooled, 4)
+	if netSerialText != netPooledText {
+		t.Error("net timeline text output differs between campaign workers=1 and workers=8")
+	}
+	if netSerialJSON != netPooledJSON {
+		t.Error("net timeline JSONL output differs between campaign workers=1 and workers=8")
+	}
+	if !strings.Contains(netSerialText, "net.degraded") {
+		t.Error("the scheduled link-model swap never surfaced in the rendered output")
+	}
+	issued, _, _ := netSerial.World.Net.LinkStats()
+	if issued == 0 {
+		t.Error("the degraded epochs issued no impaired RPCs — the swap did not bite")
+	}
+	netPrefix, err := core.RunTimelineUntil(cfg, rcWith(8), netSch, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netResumed, err := core.ResumeTimeline(cfg, rcWith(1), netSch, netPrefix.Final)
+	if err != nil {
+		t.Fatalf("resume through a net.degraded epoch failed verification: %v", err)
+	}
+	netSpliced := &core.TimelineResult{
+		Spec:     netResumed.Spec,
+		Schedule: netResumed.Schedule,
+		From:     0,
+		Epochs:   append(append([]core.EpochStats(nil), netPrefix.Epochs...), netResumed.Epochs...),
+		Final:    netResumed.Final,
+	}
+	netSplicedText, netSplicedJSON := renderTimeline(t, netSpliced, 2)
+	if netSplicedText != netSerialText {
+		t.Error("net checkpoint/resume text output differs from the straight-through run")
+	}
+	if netSplicedJSON != netSerialJSON {
+		t.Error("net checkpoint/resume JSONL output differs from the straight-through run")
+	}
+	if netResumed.Final.State.Diff(netSerial.Final.State) != "" {
+		t.Error("net resumed run's final snapshot diverges from the straight-through run's")
+	}
 }
 
 // TestRunTimelineSelection covers mode scoping and bounds on the

@@ -18,6 +18,7 @@ import (
 	"tcsb/internal/gateway"
 	"tcsb/internal/ids"
 	"tcsb/internal/monitor"
+	"tcsb/internal/netsim"
 	"tcsb/internal/trace"
 )
 
@@ -33,12 +34,27 @@ type Prober struct {
 	// under a counterfactual provider outage) fails like any other HTTP
 	// request would. nil treats every backend as online.
 	online func(ids.PeerID) bool
+	// net and timing, when instrumented, derive each probe's duration
+	// from the shared link model instead of leaving probes timeless —
+	// closing the gap where probe traffic escaped the latency figures.
+	net    *netsim.Network
+	timing *trace.TimingSink
 }
 
 // New creates a prober using the given monitoring node. online supplies
 // backend liveness for the probed gateways (nil = all online).
 func New(mon *monitor.Monitor, nonce uint64, online func(ids.PeerID) bool) *Prober {
 	return &Prober{mon: mon, nonce: nonce, online: online}
+}
+
+// Instrument wires the prober to the network's link model and a timing
+// sink: every subsequent probe's drawn link latency folds into the
+// sink's probe-phase sketch. Uninstrumented probers behave exactly as
+// before (no draws are consumed either way — the fetch itself charges
+// the latency).
+func (p *Prober) Instrument(net *netsim.Network, timing *trace.TimingSink) {
+	p.net = net
+	p.timing = timing
 }
 
 // uniqueCID generates fresh content no one else provides.
@@ -68,7 +84,15 @@ func (p *Prober) ProbeOnce(gw *gateway.Gateway) (ids.PeerID, bool) {
 		}
 	}))
 	defer remove()
-	if ok, _ := gw.FetchHTTPNodeVia(nil, c, p.online); !ok {
+	var mark int64
+	if p.net != nil {
+		mark = p.net.LatencyMark(nil)
+	}
+	ok, _ := gw.FetchHTTPNodeVia(nil, c, p.online)
+	if p.net != nil {
+		p.timing.Record(nil, trace.PhaseProbe, p.net.LatencyMark(nil)-mark)
+	}
+	if !ok {
 		return ids.PeerID{}, false
 	}
 	return hit, found

@@ -2,6 +2,7 @@ package gwprobe
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 
 	"tcsb/internal/gateway"
@@ -10,6 +11,7 @@ import (
 	"tcsb/internal/netsim"
 	"tcsb/internal/node"
 	"tcsb/internal/simtest"
+	"tcsb/internal/trace"
 )
 
 // fixture builds a network with a monitor and a 3-node gateway whose
@@ -120,6 +122,50 @@ func TestCensus(t *testing.T) {
 	set := GatewayPeerSet(census)
 	if len(set) != 4 {
 		t.Fatalf("peer set size = %d, want 4", len(set))
+	}
+}
+
+// TestInstrumentedProbeLatency pins the fix for the probe latency gap
+// (probe traffic used to bypass the link model entirely): an
+// instrumented prober draws probe durations from the shared model. The
+// figure delta against the historical uninstrumented prober is pinned
+// to zero — instrumentation must not change what a census discovers,
+// under the identity profile or a delay-only measured one.
+func TestInstrumentedProbeLatency(t *testing.T) {
+	census := func(instrument bool, spec string) (map[string][]ids.PeerID, *trace.TimingSink) {
+		net, mon, gw := fixture(t, 2)
+		if spec != "" {
+			net.Network.SetLinkModel(netsim.MustParseLinkProfile(spec), 7)
+		}
+		p := New(mon, 42, nil)
+		sink := trace.NewTimingSink(false)
+		if instrument {
+			p.Instrument(net.Network, sink)
+		}
+		return p.Census([]*gateway.Gateway{gw}, 8), sink
+	}
+
+	base, _ := census(false, "")
+	ideal, idealSink := census(true, "")
+	if !reflect.DeepEqual(base, ideal) {
+		t.Fatalf("instrumentation changed the ideal-profile census: %v vs %v", base, ideal)
+	}
+	sk := idealSink.Sketch(trace.PhaseProbe)
+	if sk.Count() != 8 || sk.Sum() != 0 {
+		t.Fatalf("ideal profile: probe sketch count=%d sum=%v, want 8 zero-cost samples", sk.Count(), sk.Sum())
+	}
+
+	measured, measuredSink := census(true, "cloud-cloud=8ms±3")
+	if !reflect.DeepEqual(base, measured) {
+		t.Fatalf("delay-only link model changed the census: %v vs %v", base, measured)
+	}
+	sk = measuredSink.Sketch(trace.PhaseProbe)
+	if sk.Count() != 8 {
+		t.Fatalf("measured profile: probe sketch count=%d, want 8", sk.Count())
+	}
+	// Every probe issues at least one Bitswap RPC, each drawn in [5ms, 11ms].
+	if sk.Min() < 5_000 {
+		t.Fatalf("measured probe min %vµs below the drawn floor", sk.Min())
 	}
 }
 

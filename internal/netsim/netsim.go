@@ -13,11 +13,17 @@
 //     GetProviders, AddProvider (DHT) and Want (Bitswap) — delivered
 //     synchronously under a virtual clock.
 //
-// Latency is not modelled per-message (the paper's analyses are about
-// who talks to whom and how often, not microsecond timing); instead the
-// virtual clock is advanced explicitly by drivers, giving every logged
-// event a deterministic timestamp. Message counts are tracked per RPC
-// type so experiments can report protocol mix (57% downloads / 40%
+// Time comes in two layers. The virtual clock is advanced explicitly by
+// drivers, giving every logged event a deterministic timestamp. On top
+// of it, an optional per-link impairment model (link.go) charges each
+// delivered RPC a deterministic delay draw — keyed by the endpoints'
+// rate classes (cloud vs residential) — and may drop it outright
+// (ErrLinkLoss), which is what makes the paper's latency figures
+// (gateway probe response times, crawl durations) reproducible. The
+// model's draws are hash streams over (seed, lane, sequence), so the
+// byte-identical worker-determinism contract holds with it enabled; the
+// zero profile is the exact identity. Message counts are tracked per
+// RPC type so experiments can report protocol mix (57% downloads / 40%
 // advertisements in the paper's Hydra logs).
 package netsim
 
@@ -142,6 +148,7 @@ var (
 	ErrUnreachable   = errors.New("netsim: peer not dialable (NAT without relay path)")
 	ErrRelayDown     = errors.New("netsim: relay offline")
 	ErrNotRegistered = errors.New("netsim: peer has no handler")
+	ErrLinkLoss      = errors.New("netsim: message lost on link")
 )
 
 // hostRecord is the simulator's registry entry for one peer.
@@ -157,6 +164,8 @@ type hostRecord struct {
 	sourceIP netip.Addr
 	// unlimitedInbound marks monitoring nodes that accept any connection.
 	unlimitedInbound bool
+	// linkClass is the peer's rate class for the link impairment model.
+	linkClass LinkClass
 }
 
 // Network is the simulated overlay. Mutating methods (Attach, Detach,
@@ -172,11 +181,24 @@ type Network struct {
 	// lanePool holds reusable Effects lanes for Fanout phases (driver-
 	// serial; lane buffers and scratch survive across phases).
 	lanePool []*Effects
+
+	// Link impairment model (link.go). linkZero caches IsZero so the
+	// identity profile costs one branch per RPC; linkSerialSeq numbers
+	// the serial-mode draw stream; the counters are lifetime totals
+	// (lane counters merge into them at Apply, in lane order).
+	link          LinkProfile
+	linkZero      bool
+	linkSeed      uint64
+	linkSerialSeq uint64
+	linkIssued    int64
+	linkDropped   int64
+	linkDelivered int64
+	linkElapsedUS int64
 }
 
-// New creates an empty network.
+// New creates an empty network with the identity link profile.
 func New() *Network {
-	return &Network{hosts: make(map[ids.PeerID]*hostRecord)}
+	return &Network{hosts: make(map[ids.PeerID]*hostRecord), linkZero: true}
 }
 
 // HostConfig describes a peer being attached to the network.
@@ -197,6 +219,9 @@ type HostConfig struct {
 	// UnlimitedInbound marks monitor-style hosts with unbounded
 	// connection capacity.
 	UnlimitedInbound bool
+	// LinkClass is the peer's rate class for the link impairment model
+	// (zero value: LinkCloud).
+	LinkClass LinkClass
 }
 
 // Attach registers a handler under the peer ID. The peer starts online.
@@ -211,6 +236,7 @@ func (n *Network) Attach(id ids.PeerID, h Handler, cfg HostConfig) {
 		relay:            cfg.Relay,
 		sourceIP:         cfg.SourceIP,
 		unlimitedInbound: cfg.UnlimitedInbound,
+		linkClass:        cfg.LinkClass,
 	}
 }
 
@@ -388,6 +414,9 @@ func (n *Network) FindNodeVia(e *Effects, closer []ids.PeerID, from, to ids.Peer
 	if err != nil {
 		return closer, err
 	}
+	if err := n.impair(e, from, h); err != nil {
+		return closer, err
+	}
 	n.count(e, MsgFindNode)
 	return h.handler.HandleFindNode(e, from, target, closer), nil
 }
@@ -403,6 +432,9 @@ func (n *Network) GetProviders(from, to ids.PeerID, c ids.CID) ([]ProviderRecord
 func (n *Network) GetProvidersVia(e *Effects, recs []ProviderRecord, closer []ids.PeerID, from, to ids.PeerID, c ids.CID) ([]ProviderRecord, []ids.PeerID, error) {
 	h, err := n.dial(to)
 	if err != nil {
+		return recs, closer, err
+	}
+	if err := n.impair(e, from, h); err != nil {
 		return recs, closer, err
 	}
 	n.count(e, MsgGetProviders)
@@ -421,6 +453,9 @@ func (n *Network) AddProviderVia(env *Effects, from, to ids.PeerID, c ids.CID, r
 	if err != nil {
 		return err
 	}
+	if err := n.impair(env, from, h); err != nil {
+		return err
+	}
 	n.count(env, MsgAddProvider)
 	h.handler.HandleAddProvider(env, from, c, rec)
 	return nil
@@ -436,6 +471,9 @@ func (n *Network) BitswapWant(from, to ids.PeerID, c ids.CID) (bool, error) {
 func (n *Network) BitswapWantVia(env *Effects, from, to ids.PeerID, c ids.CID) (bool, error) {
 	h, err := n.dial(to)
 	if err != nil {
+		return false, err
+	}
+	if err := n.impair(env, from, h); err != nil {
 		return false, err
 	}
 	n.count(env, MsgBitswapWant)

@@ -40,6 +40,19 @@ type Effects struct {
 	counts   [msgTypeCount]int64
 	lanes    []laneSlot
 
+	// Link impairment state. laneSalt permanently identifies the lane's
+	// draw stream (pool index + 1; 0 is the serial stream) and latSeq
+	// numbers the lane's draws over its lifetime — neither resets at
+	// Apply, so the streams stay decorrelated across phases while
+	// remaining a pure function of the lane decomposition. The counters
+	// merge into the Network's lifetime totals at Apply and reset.
+	laneSalt      uint64
+	latSeq        uint64
+	linkIssued    int64
+	linkDropped   int64
+	linkDelivered int64
+	linkElapsedUS int64
+
 	// Scratch is lane-scoped reusable memory for whatever engine is
 	// running on the lane (the DHT walker keeps its candidate-set
 	// buffers here, cleared per walk instead of reallocated). Exactly
@@ -110,6 +123,11 @@ func (n *Network) Apply(envs ...*Effects) {
 		for i := range e.lanes {
 			e.lanes[i].root.MergeLane(e.lanes[i].local)
 		}
+		n.linkIssued += e.linkIssued
+		n.linkDropped += e.linkDropped
+		n.linkDelivered += e.linkDelivered
+		n.linkElapsedUS += e.linkElapsedUS
+		e.linkIssued, e.linkDropped, e.linkDelivered, e.linkElapsedUS = 0, 0, 0, 0
 		e.deferred = e.deferred[:0]
 		e.counts = [msgTypeCount]int64{}
 	}
@@ -137,7 +155,7 @@ func (n *Network) Fanout(workers int, tasks []func(env *Effects)) {
 		workers = len(tasks)
 	}
 	for len(n.lanePool) < len(tasks) {
-		n.lanePool = append(n.lanePool, &Effects{})
+		n.lanePool = append(n.lanePool, &Effects{laneSalt: uint64(len(n.lanePool)) + 1})
 	}
 	envs := n.lanePool[:len(tasks)]
 	ParallelFor(workers, len(tasks), func(i int) { tasks[i](envs[i]) })

@@ -195,6 +195,7 @@ func (w *World) launchEclipse() {
 			w.Net.Attach(id, swarm, netsim.HostConfig{
 				Reachable: true,
 				Addrs:     addrList(ip),
+				LinkClass: netsim.LinkCloud,
 			})
 			w.attackers = append(w.attackers, id)
 			w.attackerSet[id] = true

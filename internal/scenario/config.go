@@ -97,6 +97,15 @@ type Config struct {
 	// gateway.
 	CloudflareGatewayNodes int
 
+	// NetProfile selects the per-link impairment model (netsim.LinkProfile):
+	// a preset name ("net.ideal", "net.measured", "net.degraded") or a raw
+	// grammar spec ("cloud-cloud=5ms±2;..."). Empty means net.ideal — the
+	// zero-latency identity, which reproduces the pre-model figures
+	// exactly. Value-typed, so Config.Clone and the canonical config hash
+	// cover it; a timeline epoch that rewrites it re-installs the model
+	// mid-run (World.ApplyRewrite).
+	NetProfile string
+
 	// RetainTrace keeps the raw event logs of the monitoring vantage
 	// points (Bitswap monitor, vantage Hydra) behind Monitor.Log() /
 	// Hydra.Log(). Off by default: every analysis folds into the

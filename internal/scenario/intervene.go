@@ -95,8 +95,8 @@ func (w *World) ProviderArrival(provider string, n int) []ids.PeerID {
 
 // ApplyRewrite applies a config rewrite to a *running* world and
 // re-syncs the derived knobs that are otherwise read only at
-// construction time (currently the vantage Hydra's proactive-lookup
-// switch). Behavioural fields — churn probabilities, traffic mix,
+// construction time (the vantage Hydra's proactive-lookup switch and
+// the per-link impairment model). Behavioural fields — churn probabilities, traffic mix,
 // request volume — take effect from the next tick; population-shape
 // fields (Servers, CloudServerFrac, …) are construction-time inputs and
 // a mid-run rewrite of them is deliberately a no-op. Timeline schedules
@@ -104,6 +104,7 @@ func (w *World) ProviderArrival(provider string, n int) []ids.PeerID {
 func (w *World) ApplyRewrite(f func(*Config)) {
 	f(&w.Cfg)
 	w.Hydra.SetProactiveLookups(w.Cfg.HydraProactiveLookups)
+	w.installLinkModel()
 }
 
 // ScaleResidentialChurn multiplies the residential churn aggressiveness

@@ -6,6 +6,7 @@ import (
 	"tcsb/internal/hydra"
 	"tcsb/internal/ids"
 	"tcsb/internal/netsim"
+	"tcsb/internal/trace"
 )
 
 // Shards is the fixed number of deterministic actor shards the tick
@@ -410,10 +411,16 @@ func (w *World) runRequests(plans [][]requestPlan) {
 
 // execRequest performs one planned retrieval on a lane. It consumes no
 // randomness and mutates nothing directly except the owning gateway.
+// Each branch brackets its RPCs with latency marks and folds the drawn
+// virtual time into the timing sink's phase sketch through the lane.
 func (w *World) execRequest(env *netsim.Effects, p requestPlan) {
 	if p.gateway >= 0 {
 		gw := w.Gateways[p.gateway]
+		mark := w.Net.LatencyMark(env)
 		ok, nd := gw.FetchHTTPNodeVia(env, p.cid, w.Net.Online)
+		// The fetch alone is the user-perceived latency; the reprovide
+		// below is a background batch and stays outside the bracket.
+		w.Timing.Record(env, trace.PhaseGateway, w.Net.LatencyMark(env)-mark)
 		if ok && nd != nil && p.coin < 0.7 {
 			nd.ProvideDirectVia(env, p.cid, w.resolversFor(p.cid))
 		}
@@ -423,7 +430,9 @@ func (w *World) execRequest(env *netsim.Effects, p requestPlan) {
 	if a == nil || !a.Online {
 		return
 	}
+	mark := w.Net.LatencyMark(env)
 	res := a.Node.RetrieveVia(env, p.cid, false)
+	w.Timing.Record(env, trace.PhaseLookup, w.Net.LatencyMark(env)-mark)
 	// IPFS clients become providers for what they download; the
 	// reprovider runs in batches (every 12-22h), modelled as a throttled
 	// direct re-advertisement. Home users hold on to content longer than

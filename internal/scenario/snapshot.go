@@ -49,6 +49,10 @@ type Snapshot struct {
 	HydraDownload int64
 	HydraAdvert   int64
 	MonitorEvents int
+	// Link impairment totals (zero under net.ideal) and the number of
+	// samples the timing sink has folded across all phases.
+	LinkIssued, LinkDropped, LinkDelivered int64
+	TimingSamples                          uint64
 	// Digest is the FNV-1a fingerprint of the canonical state walk.
 	Digest uint64
 }
@@ -77,6 +81,7 @@ var worldSnapshotFields = map[string]string{
 	"cidSeq":        "hashed directly",
 	"attackTargets": "targeted CID list (set once per attack launch)",
 	"attackers":     "minted sybil identities in creation order",
+	"Timing":        "per-phase sketch count/sum/min/max + network link counters",
 }
 
 // worldSnapshotExcluded lists every World field the digest deliberately
@@ -256,6 +261,23 @@ func (w *World) Snapshot() Snapshot {
 	s.TotalRPCs = w.Net.TotalMessages()
 	i64(s.TotalRPCs)
 
+	// Link impairment totals and the timing sink's per-phase sketch
+	// summaries (count/sum/min/max pin the folded sample stream; the
+	// quantiles are a pure function of it).
+	s.LinkIssued, s.LinkDropped, s.LinkDelivered = w.Net.LinkStats()
+	i64(s.LinkIssued)
+	i64(s.LinkDropped)
+	i64(s.LinkDelivered)
+	i64(w.Net.LinkElapsedUS())
+	for _, p := range trace.Phases() {
+		sk := w.Timing.Sketch(p)
+		u64(sk.Count())
+		f64(sk.Sum())
+		f64(sk.Min())
+		f64(sk.Max())
+		s.TimingSamples += sk.Count()
+	}
+
 	s.Digest = h.Sum64()
 	return s
 }
@@ -287,6 +309,10 @@ func (s Snapshot) Diff(o Snapshot) string {
 		{"hydra-download", s.HydraDownload, o.HydraDownload},
 		{"hydra-advertise", s.HydraAdvert, o.HydraAdvert},
 		{"monitor-events", int64(s.MonitorEvents), int64(o.MonitorEvents)},
+		{"link-issued", s.LinkIssued, o.LinkIssued},
+		{"link-dropped", s.LinkDropped, o.LinkDropped},
+		{"link-delivered", s.LinkDelivered, o.LinkDelivered},
+		{"timing-samples", int64(s.TimingSamples), int64(o.TimingSamples)},
 	} {
 		if c.a != c.b {
 			return fmt.Sprintf("%s: %d != %d", c.name, c.a, c.b)

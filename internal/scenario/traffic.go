@@ -8,6 +8,7 @@ import (
 	"tcsb/internal/ids"
 	"tcsb/internal/netsim"
 	"tcsb/internal/stats"
+	"tcsb/internal/trace"
 )
 
 // TickSeconds is the virtual duration of one tick (an hour).
@@ -138,6 +139,7 @@ func (w *World) regenerateActor(old *Actor) {
 		w.Net.Attach(id, a.Node, netsim.HostConfig{
 			Reachable: true,
 			Addrs:     addrList(a.IP),
+			LinkClass: netsim.LinkResi, // regenerated actors are residential
 		})
 		for i, x := range w.servers {
 			if x == old.ID {
@@ -275,11 +277,13 @@ func (w *World) Crawl(id int) *crawler.Snapshot {
 			break
 		}
 	}
-	return crawler.Crawl(w.Net, crawler.Config{
+	snap := crawler.Crawl(w.Net, crawler.Config{
 		ID:        id,
 		CrawlerID: w.CrawlerID(),
 		Parallel:  w.Workers,
 	}, seeds)
+	w.Timing.Record(nil, trace.PhaseCrawl, snap.LinkLatencyUS)
+	return snap
 }
 
 // FindProvidersExhaustive resolves all provider records for a CID using

@@ -104,6 +104,12 @@ type World struct {
 	// bankIdx is IPFSBank's index in Gateways (request planning routes
 	// the platform's share of HTTP traffic by index).
 	bankIdx int
+	// Timing folds per-phase virtual link latencies (gateway fetches,
+	// direct lookups, crawl waves, probe rounds) into bounded percentile
+	// sketches read by the latency.* experiments. Samples route through
+	// the effect lanes, so every quantile is byte-identical for every
+	// Workers value.
+	Timing *trace.TimingSink
 
 	catalog []catalogEntry
 	live    []int // indices into catalog of currently-provided CIDs
@@ -142,6 +148,8 @@ func NewWorld(cfg Config) *World {
 	}
 	w.Alloc = ipdb.NewAllocator(w.DB, w.Rng)
 	w.peerSeq = uint64(cfg.Seed)<<32 + 1
+	w.installLinkModel()
+	w.Timing = trace.NewTimingSink(cfg.RetainTrace)
 
 	w.buildServers()
 	w.buildPlatforms()
@@ -154,6 +162,33 @@ func NewWorld(cfg Config) *World {
 	w.wireBitswap()
 	w.seedContent()
 	return w
+}
+
+// linkSeedLabel derives the link-model draw stream from the world seed
+// (disjoint from the per-(tick, shard) planner streams, which use the
+// three-label family).
+const linkSeedLabel = 0x1a7e
+
+// installLinkModel resolves Cfg.NetProfile and (re)installs it on the
+// network. Invalid profiles panic: specs are validated at the CLI and
+// intervention boundaries, so an invalid one here is a programming
+// error. SetLinkModel preserves the lifetime draw counters, so a
+// mid-run re-install (a timeline @E:net.* epoch) swaps distributions
+// without replaying earlier draws.
+func (w *World) installLinkModel() {
+	prof, err := netsim.ResolveLinkProfile(w.Cfg.NetProfile)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: invalid NetProfile %q: %v", w.Cfg.NetProfile, err))
+	}
+	w.Net.SetLinkModel(prof, ids.DeriveSeed(uint64(w.Cfg.Seed), linkSeedLabel))
+}
+
+// linkClassOf maps an actor's hosting to its impairment class.
+func linkClassOf(cloud bool) netsim.LinkClass {
+	if cloud {
+		return netsim.LinkCloud
+	}
+	return netsim.LinkResi
 }
 
 func (w *World) nextPeerID() ids.PeerID {
@@ -237,6 +272,7 @@ func (w *World) addServerActor(cloud bool, provider, country, platform string, a
 	w.Net.Attach(id, nd, netsim.HostConfig{
 		Reachable: true,
 		Addrs:     []maddr.Addr{maddr.New(ip, maddr.TCP, 4001)},
+		LinkClass: linkClassOf(cloud),
 	})
 	if platform != "" {
 		w.DNS.RegisterRDNS(ip, dnssim.FormatPTR(ip, platform))
@@ -365,6 +401,7 @@ func (w *World) buildMonitor() {
 		Reachable:        true,
 		UnlimitedInbound: true,
 		Addrs:            []maddr.Addr{maddr.New(ip, maddr.TCP, 4001)},
+		LinkClass:        netsim.LinkResi,
 	})
 }
 
@@ -392,6 +429,7 @@ func (w *World) buildHydra() {
 			w.Net.Attach(head, h, netsim.HostConfig{
 				Reachable: true,
 				Addrs:     []maddr.Addr{maddr.New(ip, maddr.TCP, 4001)},
+				LinkClass: netsim.LinkCloud,
 			})
 			w.DNS.RegisterRDNS(ip, dnssim.FormatPTR(ip, PlatformHydra))
 		}
@@ -467,6 +505,7 @@ func (w *World) attachClient(a *Actor) {
 		Relay:     a.Relay,
 		SourceIP:  a.IP, // outbound connections expose the NAT's public side
 		Addrs:     []maddr.Addr{circuit},
+		LinkClass: netsim.LinkResi,
 	})
 }
 

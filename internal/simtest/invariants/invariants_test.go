@@ -47,6 +47,9 @@ func checkAll(t *testing.T, label string, o *core.Observatory) {
 	for _, v := range CheckStreamingEquivalence(o) {
 		t.Errorf("%s: %s", label, v)
 	}
+	for _, v := range CheckLatency(o) {
+		t.Errorf("%s: %s", label, v)
+	}
 }
 
 func TestInvariantsBaseline(t *testing.T) {

@@ -1,0 +1,93 @@
+package invariants
+
+import (
+	"fmt"
+	"testing"
+
+	"tcsb/internal/scenario"
+	"tcsb/internal/simtest/campaign"
+)
+
+// The network-realism leg of the property suite. The generic
+// TestInvariantsInterventions already drives the net.* interventions
+// (they are registered counterfactuals) through checkAll — which
+// includes CheckLatency — over seeds 1-5; the tests here add the laws
+// that need a hand on the clock: per-tick virtual-time monotonicity and
+// the retained sketch-vs-exact equivalence on impaired worlds.
+
+// netConfig is the small retained fixture under a named link profile.
+func netConfig(seed int64, profile string) scenario.Config {
+	cfg := retainedConfig(seed)
+	cfg.NetProfile = profile
+	return cfg
+}
+
+// TestLatencyInvariantsImpairedWorlds runs the full latency check —
+// loss conservation, containment, sketch-vs-exact on the retained raw
+// samples — on observed campaigns under both impaired presets.
+func TestLatencyInvariantsImpairedWorlds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds observation campaigns")
+	}
+	for _, profile := range []string{"net.measured", "net.degraded"} {
+		profile := profile
+		t.Run(profile, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				seed := seed
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					t.Parallel()
+					w := scenario.NewWorld(netConfig(seed, profile))
+					o := observeWorld(w)
+					checkAll(t, profile, o)
+					issued, _, _ := w.Net.LinkStats()
+					if issued == 0 {
+						t.Errorf("%s: campaign issued no impaired RPCs — the model is not wired", profile)
+					}
+					if w.Timing.Sketch(0).Count() == 0 {
+						t.Errorf("%s: no gateway timings folded", profile)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestVirtualClockMonotonicity pins the per-tick law: the merged
+// virtual link clock and the issue counter never run backwards, on the
+// serial driver and on a pooled one alike.
+func TestVirtualClockMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steps a small world")
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			cfg := campaign.SmallConfig(2)
+			cfg.NetProfile = "net.measured"
+			w := scenario.NewWorld(cfg)
+			w.Workers = workers
+			lastElapsed, lastIssued := w.Net.LinkElapsedUS(), int64(0)
+			lastIssued, _, _ = w.Net.LinkStats()
+			for tick := 0; tick < 48; tick++ {
+				w.StepTick()
+				elapsed := w.Net.LinkElapsedUS()
+				issued, dropped, delivered := w.Net.LinkStats()
+				if elapsed < lastElapsed {
+					t.Fatalf("tick %d: virtual clock ran backwards (%d < %d)", tick, elapsed, lastElapsed)
+				}
+				if issued < lastIssued {
+					t.Fatalf("tick %d: issue counter ran backwards (%d < %d)", tick, issued, lastIssued)
+				}
+				if issued != dropped+delivered {
+					t.Fatalf("tick %d: loss conservation broken: %d != %d + %d",
+						tick, issued, dropped, delivered)
+				}
+				lastElapsed, lastIssued = elapsed, issued
+			}
+			if lastIssued == 0 {
+				t.Fatal("48 ticks under net.measured issued no impaired RPCs")
+			}
+		})
+	}
+}
