@@ -110,7 +110,11 @@ func benchTimelineResult(b *testing.B) *core.TimelineResult {
 		}
 		rc := campaign.SmallRunConfig()
 		rc.Workers = 2
-		benchTimelineOnce.tr = core.RunTimeline(campaign.SmallConfig(21), rc, sch)
+		tr, err := core.RunTimeline(campaign.SmallConfig(21), rc, sch)
+		if err != nil {
+			panic(err)
+		}
+		benchTimelineOnce.tr = tr
 	})
 	return benchTimelineOnce.tr
 }
@@ -136,7 +140,10 @@ func BenchmarkTimeline(b *testing.B) {
 		cfg.Seed = 1
 		rc := core.DefaultRunConfig()
 		rc.Workers = 1
-		tr := core.RunTimeline(cfg, rc, sch)
+		tr, err := core.RunTimeline(cfg, rc, sch)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tr.Epochs) != 14 {
 			b.Fatal("short timeline")
 		}

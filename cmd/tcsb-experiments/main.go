@@ -21,7 +21,9 @@
 // -workers drives the observation campaign (world ticks, crawls,
 // provider-record collection) on a bounded goroutine pool; -parallel
 // bounds concurrently executing experiments over the finished
-// observatory. -what-if runs a paired campaign instead — a baseline world
+// observatory. Both must be positive: a zero or negative pool is a
+// configuration error (exit 2), never a silent one-worker fallback.
+// -what-if runs a paired campaign instead — a baseline world
 // and a world rewritten by the named interventions, sharing the -workers
 // pool — and renders the whatif.* delta experiments over the pair.
 // -timeline runs a longitudinal campaign: one evolving world stepped
@@ -29,8 +31,9 @@
 // preset name) with population drift and interventions firing at epoch
 // boundaries, rendered by the timeline.* experiments with epoch-tagged
 // rows; -epochs overrides the schedule's epoch count (alone it means a
-// drift-free "epochs=N" schedule). -days is ignored in timeline mode —
-// the schedule owns the calendar.
+// drift-free "epochs=N" schedule). The schedule owns the calendar in
+// timeline mode: passing -days alongside -timeline/-epochs is an error
+// (exit 2) — use a days= clause in the schedule spec instead.
 // The attack.* interventions (adversarial scenarios: sybil eclipse,
 // provider-record spam, poisoned gateway stampedes, targeted
 // censorship) compose like any other -what-if entry and schedule like
@@ -53,7 +56,9 @@
 // external tooling that needs events).
 // Output on stdout is a deterministic function of the flags and seed:
 // for the same selection it is byte-identical for every -workers and
-// -parallel value (timings and progress go to stderr).
+// -parallel value (timings and progress go to stderr). The same
+// canonical request also keys cmd/tcsb-server's run cache, so a
+// campaign run here is the same content address the service computes.
 package main
 
 import (
@@ -62,9 +67,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"time"
 
-	"tcsb/internal/attack"
 	"tcsb/internal/core"
 	"tcsb/internal/counterfactual"
 	"tcsb/internal/experiments"
@@ -74,23 +77,93 @@ import (
 	"tcsb/internal/timeline"
 )
 
+// options carries the parsed flag values into buildRequest. explicit
+// holds the names of flags the user actually set (flag.Visit), which is
+// how timeline mode distinguishes "-days 10 by default" from "-days 10
+// on the command line" — the former is ignored in favor of the
+// schedule, the latter is a contradiction that must not be swallowed.
+type options struct {
+	seed         int64
+	scale        float64
+	preset       string
+	netProfile   string
+	days         int
+	only         string
+	whatIf       string
+	attackParams string
+	timelineSpec string
+	epochs       int
+	workers      int
+	parallel     int
+	explicit     map[string]bool
+}
+
+// buildRequest validates the flag shape and reduces it to the canonical
+// run request. Every rejection here is an exit-2 diagnostic in main;
+// the function is pure so the table tests can cover each one.
+func buildRequest(o options) (core.RunRequest, error) {
+	var req core.RunRequest
+	if o.workers <= 0 {
+		return req, fmt.Errorf("-workers must be positive (got %d); the pool size never changes the output, so there is no zero-worker mode", o.workers)
+	}
+	if o.parallel <= 0 {
+		return req, fmt.Errorf("-parallel must be positive (got %d)", o.parallel)
+	}
+	if o.scale <= 0 {
+		return req, fmt.Errorf("-scale must be positive (got %g)", o.scale)
+	}
+	timelineMode := o.timelineSpec != "" || o.epochs > 0
+	days := o.days
+	if timelineMode {
+		if o.explicit["days"] {
+			return req, fmt.Errorf("-days is owned by the schedule in timeline mode; use a days= clause in the -timeline spec instead")
+		}
+		days = 0 // the schedule's calendar applies
+	} else if days <= 0 {
+		return req, fmt.Errorf("-days must be positive (got %d)", days)
+	}
+	var only []string
+	for _, f := range strings.Split(o.only, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			only = append(only, f)
+		}
+	}
+	req = core.RunRequest{
+		Seed:         o.seed,
+		Scale:        o.scale,
+		Preset:       o.preset,
+		Days:         days,
+		NetProfile:   o.netProfile,
+		AttackParams: o.attackParams,
+		WhatIf:       o.whatIf,
+		Timeline:     o.timelineSpec,
+		Epochs:       o.epochs,
+		Only:         only,
+		Workers:      o.workers,
+		Parallel:     o.parallel,
+	}
+	return req, nil
+}
+
 func main() {
-	seed := flag.Int64("seed", 1, "simulation seed")
-	scale := flag.Float64("scale", 1.0, "population scale factor (1.0 ≈ 1/12 of the real network)")
-	preset := flag.String("preset", "", "named scale.* scenario preset (e.g. scale.4x); composes with -scale")
+	o := options{explicit: make(map[string]bool)}
+	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.Float64Var(&o.scale, "scale", 1.0, "population scale factor (1.0 ≈ 1/12 of the real network)")
+	flag.StringVar(&o.preset, "preset", "", "named scale.* scenario preset (e.g. scale.4x); composes with -scale")
 	retain := flag.Bool("retain-trace", false, "retain raw vantage-point event logs alongside the streaming statistics (costs gigabytes at default scale)")
-	netProfile := flag.String("net-profile", "", "per-link impairment model: a net.* preset (net.ideal, net.measured, net.degraded) or a raw spec like \"cloud-cloud=5ms±2;resi-cloud=40ms±15,loss=0.02\"; empty = net.ideal (zero latency)")
-	days := flag.Int("days", 10, "observation days")
-	only := flag.String("only", "", "comma-separated experiment filter (e.g. table1,fig3,fig13)")
-	whatIf := flag.String("what-if", "", "comma-separated counterfactual interventions (e.g. hydra-dissolution,churn-2x or attack.sybil-eclipse); runs a paired baseline/intervention campaign and the whatif.* delta experiments")
-	attackParams := flag.String("attack-params", "", "attack.* parameter overrides (e.g. \"band=20;sybils=48;spam=100\"); tunes any attack interventions named by -what-if or a -timeline schedule")
-	timelineSpec := flag.String("timeline", "", "epoch schedule (e.g. \"epochs=14;@5:hydra-dissolution\") or a timeline.* preset name; runs a longitudinal campaign and the timeline.* experiments")
-	epochs := flag.Int("epochs", 0, "override the -timeline schedule's epoch count (alone: a drift-free epochs=N schedule)")
-	workers := flag.Int("workers", runtime.NumCPU(), "goroutine pool size for the observation campaign (output is identical for every value)")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "max experiments executed concurrently")
+	flag.StringVar(&o.netProfile, "net-profile", "", "per-link impairment model: a net.* preset (net.ideal, net.measured, net.degraded) or a raw spec like \"cloud-cloud=5ms±2;resi-cloud=40ms±15,loss=0.02\"; empty = net.ideal (zero latency)")
+	flag.IntVar(&o.days, "days", 10, "observation days (timeline mode: the schedule owns the calendar; setting -days is an error)")
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment filter (e.g. table1,fig3,fig13)")
+	flag.StringVar(&o.whatIf, "what-if", "", "comma-separated counterfactual interventions (e.g. hydra-dissolution,churn-2x or attack.sybil-eclipse); runs a paired baseline/intervention campaign and the whatif.* delta experiments")
+	flag.StringVar(&o.attackParams, "attack-params", "", "attack.* parameter overrides (e.g. \"band=20;sybils=48;spam=100\"); tunes any attack interventions named by -what-if or a -timeline schedule")
+	flag.StringVar(&o.timelineSpec, "timeline", "", "epoch schedule (e.g. \"epochs=14;@5:hydra-dissolution\") or a timeline.* preset name; runs a longitudinal campaign and the timeline.* experiments")
+	flag.IntVar(&o.epochs, "epochs", 0, "override the -timeline schedule's epoch count (alone: a drift-free epochs=N schedule)")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "goroutine pool size for the observation campaign (output is identical for every value; must be positive)")
+	flag.IntVar(&o.parallel, "parallel", runtime.NumCPU(), "max experiments executed concurrently (must be positive)")
 	jsonOut := flag.Bool("json", false, "emit JSONL (one JSON object per table) instead of text tables")
 	list := flag.Bool("list", false, "list registered experiments and interventions, then exit")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) { o.explicit[f.Name] = true })
 
 	if *list {
 		fmt.Println(experiments.ListTable())
@@ -105,155 +178,30 @@ func main() {
 		return
 	}
 
-	var names []string
-	for _, f := range strings.Split(*only, ",") {
-		if f = strings.TrimSpace(strings.ToLower(f)); f != "" {
-			names = append(names, f)
-		}
-	}
-	var interventions []counterfactual.Intervention
-	if *whatIf != "" {
-		var err error
-		if interventions, err = counterfactual.Parse(*whatIf); err != nil {
-			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
-			os.Exit(2)
-		}
-	}
-	// Timeline mode: resolve a preset name or parse the spec grammar,
-	// apply the -epochs override, and compile against the intervention
-	// registry — all before paying for any simulation.
-	var schedule *timeline.Compiled
-	if *timelineSpec != "" || *epochs > 0 {
-		if len(interventions) > 0 {
-			fmt.Fprintln(os.Stderr, "tcsb-experiments: -timeline and -what-if are mutually exclusive (a schedule can fire interventions at epochs)")
-			os.Exit(2)
-		}
-		spec := *timelineSpec
-		if p, ok := timeline.LookupPreset(spec); ok {
-			spec = p.Spec
-		}
-		if spec == "" {
-			spec = fmt.Sprintf("epochs=%d", *epochs)
-		}
-		sch, err := timeline.Parse(spec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
-			os.Exit(2)
-		}
-		if *epochs > 0 {
-			sch.Epochs = *epochs
-			if err := sch.Validate(); err != nil {
-				fmt.Fprintln(os.Stderr, "tcsb-experiments: -epochs override:", err)
-				os.Exit(2)
-			}
-		}
-		if schedule, err = sch.Compile(counterfactual.ScheduleResolver()); err != nil {
-			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
-			os.Exit(2)
-		}
-	}
-	// Validate the selection — against the mode actually requested — before
-	// paying for the simulation.
-	mode := experiments.ModeRun
-	switch {
-	case len(interventions) > 0:
-		mode = experiments.ModeDelta
-	case schedule != nil:
-		mode = experiments.ModeTimeline
-	}
-	if _, err := experiments.SelectFor(names, mode); err != nil {
+	req, err := buildRequest(o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
 		os.Exit(2)
 	}
-
-	cfg := scenario.DefaultConfig().Scaled(*scale)
-	if *preset != "" {
-		p, ok := scenario.LookupScale(*preset)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "tcsb-experiments: unknown preset %q; -list shows the scale.* family\n", *preset)
-			os.Exit(2)
-		}
-		cfg = p.Apply(cfg)
+	// Resolve validates the request against every registry (experiments,
+	// interventions, presets, grammars) before any simulation is paid
+	// for; invalid input is a diagnostic, never a panic.
+	res, err := experiments.Resolve(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+		os.Exit(2)
 	}
-	if *attackParams != "" {
-		p, err := attack.Parse(*attackParams)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tcsb-experiments: -attack-params:", err)
-			os.Exit(2)
-		}
-		p.Apply(&cfg)
+	res.RC.RetainTrace = *retain
+
+	progress := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	if *netProfile != "" {
-		// Validate before paying for the simulation; world construction
-		// treats an invalid profile as a programming error.
-		if _, err := netsim.ResolveLinkProfile(*netProfile); err != nil {
-			fmt.Fprintln(os.Stderr, "tcsb-experiments: -net-profile:", err)
-			os.Exit(2)
-		}
-		cfg.NetProfile = *netProfile
+	results, err := res.Execute(progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+		os.Exit(2)
 	}
-	cfg.Seed = *seed
-	rc := core.DefaultRunConfig()
-	rc.Days = *days
-	rc.Workers = *workers
-	rc.RetainTrace = *retain
-
-	var results []experiments.Result
-	var err error
-	if schedule != nil {
-		s := schedule.Schedule()
-		fmt.Fprintf(os.Stderr, "building world (%d servers, %d NAT clients) and running %d epochs × %d days, schedule %s (workers=%d)...\n",
-			cfg.Servers, cfg.NATClients, s.Epochs, s.DaysPerEpoch, schedule.Spec(), rc.Workers)
-		start := time.Now()
-		tr := core.RunTimeline(cfg, rc, schedule)
-		fmt.Fprintf(os.Stderr, "timeline complete in %v (%d total RPCs)\n",
-			time.Since(start).Round(time.Millisecond), tr.World.Net.TotalMessages())
-
-		runStart := time.Now()
-		results, err = experiments.RunTimeline(tr, names, *parallel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
-			os.Exit(2)
-		}
-		fmt.Fprintf(os.Stderr, "%d timeline experiments in %v (parallel=%d)\n\n",
-			len(results), time.Since(runStart).Round(time.Millisecond), *parallel)
-	} else if len(interventions) > 0 {
-		spec := counterfactual.Spec(interventions)
-		fmt.Fprintf(os.Stderr, "building paired worlds (%d servers, %d NAT clients), what-if %s, observing %d days each (workers=%d)...\n",
-			cfg.Servers, cfg.NATClients, spec, rc.Days, rc.Workers)
-		start := time.Now()
-		baseline, whatif := counterfactual.Observe(cfg, rc, interventions)
-		fmt.Fprintf(os.Stderr, "paired observation complete in %v (%d + %d total RPCs)\n",
-			time.Since(start).Round(time.Millisecond),
-			baseline.World.Net.TotalMessages(), whatif.World.Net.TotalMessages())
-
-		runStart := time.Now()
-		results, err = experiments.RunPaired(baseline, whatif,
-			counterfactual.NamesOf(interventions), names, *parallel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
-			os.Exit(2)
-		}
-		// results[0] is the applied-interventions header, not an experiment.
-		fmt.Fprintf(os.Stderr, "%d delta experiments in %v (parallel=%d)\n\n",
-			len(results)-1, time.Since(runStart).Round(time.Millisecond), *parallel)
-	} else {
-		fmt.Fprintf(os.Stderr, "building world (%d servers, %d NAT clients) and observing %d days (workers=%d)...\n",
-			cfg.Servers, cfg.NATClients, rc.Days, rc.Workers)
-		start := time.Now()
-		o := core.Observe(cfg, rc)
-		fmt.Fprintf(os.Stderr, "observation complete in %v (%d total RPCs)\n",
-			time.Since(start).Round(time.Millisecond), o.World.Net.TotalMessages())
-
-		runStart := time.Now()
-		results, err = experiments.Run(o, names, *parallel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
-			os.Exit(2)
-		}
-		fmt.Fprintf(os.Stderr, "%d experiments in %v (parallel=%d)\n\n",
-			len(results), time.Since(runStart).Round(time.Millisecond), *parallel)
-	}
+	fmt.Fprintln(os.Stderr)
 
 	render := experiments.RenderText
 	if *jsonOut {

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// defaults mirrors the flag defaults main registers, so each case only
+// states its deviation.
+func defaults() options {
+	return options{
+		seed:     1,
+		scale:    1.0,
+		days:     10,
+		workers:  4,
+		parallel: 4,
+		explicit: map[string]bool{},
+	}
+}
+
+// TestBuildRequestValidation pins the exit-2 surface: every invalid
+// flag shape is rejected with a diagnostic before any simulation runs.
+// In particular -workers 0 must be an error, not a silent one-worker
+// campaign under a banner that says workers=0.
+func TestBuildRequestValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // "" = must pass
+	}{
+		{"defaults pass", func(o *options) {}, ""},
+		{"workers zero", func(o *options) { o.workers = 0; o.explicit["workers"] = true }, "-workers must be positive"},
+		{"workers negative", func(o *options) { o.workers = -3 }, "-workers must be positive"},
+		{"parallel zero", func(o *options) { o.parallel = 0 }, "-parallel must be positive"},
+		{"parallel negative", func(o *options) { o.parallel = -1 }, "-parallel must be positive"},
+		{"scale zero", func(o *options) { o.scale = 0 }, "-scale must be positive"},
+		{"scale negative", func(o *options) { o.scale = -0.5 }, "-scale must be positive"},
+		{"days zero", func(o *options) { o.days = 0; o.explicit["days"] = true }, "-days must be positive"},
+		{"days negative", func(o *options) { o.days = -7; o.explicit["days"] = true }, "-days must be positive"},
+		{
+			"explicit days in timeline mode",
+			func(o *options) {
+				o.timelineSpec = "epochs=3"
+				o.days = 5
+				o.explicit["days"] = true
+			},
+			"owned by the schedule",
+		},
+		{
+			"explicit days with epochs-only timeline",
+			func(o *options) {
+				o.epochs = 4
+				o.days = 10 // even the default value, set explicitly, contradicts the schedule
+				o.explicit["days"] = true
+			},
+			"owned by the schedule",
+		},
+		{
+			// The default -days value without an explicit flag is not a
+			// contradiction: the schedule silently owns the calendar.
+			"default days in timeline mode passes",
+			func(o *options) { o.timelineSpec = "epochs=3" },
+			"",
+		},
+		{"timeline mode ignores days default", func(o *options) { o.epochs = 2 }, ""},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			o := defaults()
+			tc.mutate(&o)
+			req, err := buildRequest(o)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("buildRequest: %v", err)
+				}
+				if (o.timelineSpec != "" || o.epochs > 0) && req.Days != 0 {
+					t.Fatalf("timeline-mode request carries Days=%d; the schedule owns the calendar", req.Days)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("buildRequest accepted %s; want error containing %q", tc.name, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBuildRequestOnlySplit pins the -only comma splitting.
+func TestBuildRequestOnlySplit(t *testing.T) {
+	o := defaults()
+	o.only = " fig3, ,table1 ,"
+	req, err := buildRequest(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Only) != 2 || req.Only[0] != "fig3" || req.Only[1] != "table1" {
+		t.Fatalf("Only = %q", req.Only)
+	}
+}

@@ -1,0 +1,95 @@
+// Command tcsb-server is the long-running campaign service: the
+// experiment registry and the simulation engine behind an HTTP/JSON
+// API, with a content-addressed run cache in front of the fleet.
+//
+//	tcsb-server -addr :8080 -workers 8 -fleet 2 -cache-entries 256
+//
+// Endpoints (all under /v1):
+//
+//	GET  /v1/healthz        liveness + fleet shape
+//	GET  /v1/experiments    the experiment catalog (JSON)
+//	GET  /v1/experiments/N  one catalog entry
+//	GET  /v1/interventions  the counterfactual intervention registry
+//	GET  /v1/presets        scale.*, net.* and timeline.* preset families
+//	GET  /v1/cache          run-cache counters
+//	POST /v1/runs           run (or serve from cache) one campaign; NDJSON
+//	POST /v1/sweeps         expand a parameter grid and run the fleet; NDJSON
+//
+// Determinism makes the cache exact: a run's rendered output is a pure
+// function of its canonical request, so a warm key returns bytes
+// identical to a fresh campaign. Responses carry X-Tcsb-Run-Key (the
+// content address) and X-Tcsb-Cache (hit|miss).
+//
+// Invalid flags exit 2; invalid requests are HTTP 4xx; no input —
+// flag or request body — can panic the process. SIGINT/SIGTERM drain
+// in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tcsb-server: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "global campaign worker budget, split across the fleet")
+	fleet := flag.Int("fleet", 2, "maximum concurrently executing campaigns")
+	cacheEntries := flag.Int("cache-entries", 256, "run-cache capacity in stored runs (0 = unbounded)")
+	flag.Parse()
+
+	// Non-positive shape flags are configuration errors, not requests
+	// for a default: exit 2 with a diagnostic, same contract as the CLIs.
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "tcsb-server: -workers must be positive (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	if *fleet <= 0 {
+		fmt.Fprintf(os.Stderr, "tcsb-server: -fleet must be positive (got %d)\n", *fleet)
+		os.Exit(2)
+	}
+	if *cacheEntries < 0 {
+		fmt.Fprintf(os.Stderr, "tcsb-server: -cache-entries must be >= 0 (got %d)\n", *cacheEntries)
+		os.Exit(2)
+	}
+
+	s := newServer(*fleet, *workers, *cacheEntries, log.Printf)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (fleet=%d, workers/run=%d, cache=%d entries)",
+		*addr, *fleet, s.perRun, *cacheEntries)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight campaigns finish.
+	log.Printf("shutting down; cache %s", s.cache.Stats())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+}

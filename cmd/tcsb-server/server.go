@@ -1,0 +1,432 @@
+package main
+
+// The control plane: a net/http JSON API over the simulation engine.
+// Handlers reduce requests to core.RunRequest values, resolve them
+// through the shared experiments.Resolve plumbing (the same validation
+// and canonicalization path as the CLI — identical work resolves
+// identical cache keys), and serve rendered JSONL out of the
+// content-addressed run cache. Campaigns execute on a bounded fleet:
+// `fleet` run slots over a global worker budget, each campaign getting
+// budget/fleet workers — output is byte-identical for every allotment,
+// so the scheduler can never change a response.
+//
+// Error surface: every invalid input is an HTTP 4xx with a JSON error
+// body, every execution failure a 5xx; a recover middleware converts
+// any stray panic into a 500 instead of killing the process. No
+// request input can take the service down.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strings"
+
+	"tcsb/internal/core"
+	"tcsb/internal/counterfactual"
+	"tcsb/internal/experiments"
+	"tcsb/internal/netsim"
+	"tcsb/internal/runcache"
+	"tcsb/internal/scenario"
+	"tcsb/internal/timeline"
+)
+
+// maxSweepRuns bounds one sweep request's expanded grid.
+const maxSweepRuns = 256
+
+type server struct {
+	cache  *runcache.Cache
+	slots  chan struct{} // fleet run slots; holding one runs a campaign
+	perRun int           // campaign workers per slot
+	logf   func(format string, args ...any)
+}
+
+// newServer wires the fleet scheduler: fleetSlots concurrent campaigns
+// over a global budget of workers, perRun = budget/fleetSlots each.
+func newServer(fleetSlots, budget, cacheEntries int, logf func(string, ...any)) *server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	perRun := budget / fleetSlots
+	if perRun < 1 {
+		perRun = 1
+	}
+	return &server{
+		cache:  runcache.New(cacheEntries),
+		slots:  make(chan struct{}, fleetSlots),
+		perRun: perRun,
+		logf:   logf,
+	}
+}
+
+// handler builds the route table behind the recover middleware.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
+	mux.HandleFunc("/v1/interventions", s.handleInterventions)
+	mux.HandleFunc("/v1/presets", s.handlePresets)
+	mux.HandleFunc("/v1/cache", s.handleCache)
+	mux.HandleFunc("/v1/runs", s.handleRuns)
+	mux.HandleFunc("/v1/sweeps", s.handleSweeps)
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a handler panic into a 500 JSON error: the
+// API boundary contract is that no request input crashes the service.
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeError emits the JSON error body every failure path shares.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status": "ok",
+		"fleet":  cap(s.slots),
+		"perRun": s.perRun,
+	})
+}
+
+// handleExperiments serves the machine-readable registry.
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, experiments.Catalog())
+}
+
+// handleExperiment serves one registry entry by name.
+func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+	for _, d := range experiments.Catalog() {
+		if d.Name == name {
+			writeJSON(w, d)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q; GET /v1/experiments lists the catalog", name))
+}
+
+func (s *server) handleInterventions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type row struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		// ConstructionOnly interventions run under whatIf but cannot
+		// fire at timeline epochs.
+		ConstructionOnly bool `json:"constructionOnly,omitempty"`
+	}
+	var out []row
+	for _, iv := range counterfactual.All() {
+		out = append(out, row{iv.Name, iv.Description, iv.ConstructionOnly})
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type named struct {
+		Name        string `json:"name"`
+		Spec        string `json:"spec,omitempty"`
+		Description string `json:"description"`
+	}
+	out := map[string][]named{}
+	for _, p := range scenario.ScalePresets() {
+		out["scale"] = append(out["scale"], named{Name: p.Name, Description: p.Description})
+	}
+	for _, p := range netsim.LinkPresets() {
+		out["net"] = append(out["net"], named{p.Name, p.Spec, p.Description})
+	}
+	for _, p := range timeline.Presets() {
+		out["timeline"] = append(out["timeline"], named{p.Name, p.Spec, p.Description})
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleCache(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, s.cache.Stats())
+}
+
+// decodeRequest parses a RunRequest body strictly: unknown fields are
+// a 400, not a silent drop — a typoed field name must never quietly
+// run the wrong campaign.
+func decodeRequest(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("request body: %w", err)
+	}
+	return nil
+}
+
+// compute serves res from the cache, running the campaign on a fleet
+// slot on a miss. Concurrent identical requests coalesce into one
+// computation (runcache single-flight).
+func (s *server) compute(ctx context.Context, res *experiments.Resolved) ([]byte, bool, error) {
+	return s.cache.GetOrCompute(res.Key, func() ([]byte, error) {
+		select {
+		case s.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-s.slots }()
+		s.logf("run %s: %s", res.Key[:12], res.Mode)
+		return res.ExecuteJSONL(nil)
+	})
+}
+
+// resolveForFleet resolves a request and pins its worker allotment to
+// the fleet share (a client may ask for fewer, never more; the output
+// is byte-identical either way, so the clamp can never change a
+// response).
+func (s *server) resolveForFleet(req core.RunRequest) (*experiments.Resolved, error) {
+	res, err := experiments.Resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	workers := s.perRun
+	if req.Workers > 0 && req.Workers < workers {
+		workers = req.Workers
+	}
+	res.RC.Workers = workers
+	if res.Req.Parallel < 1 {
+		res.Req.Parallel = 2
+	}
+	return res, nil
+}
+
+// handleRuns is the single-run endpoint: POST a core.RunRequest, get
+// the run's JSONL stream — from the cache when the key is warm
+// (byte-identical to a fresh run; X-Tcsb-Cache says which).
+func (s *server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a run request")
+		return
+	}
+	var req core.RunRequest
+	if err := decodeRequest(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.resolveForFleet(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body, hit, err := s.compute(r.Context(), res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Tcsb-Run-Key", res.Key)
+	w.Header().Set("X-Tcsb-Cache", cacheLabel(hit))
+	w.Write(body)
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// sweepSpec is the parameter-sweep grammar: every list is one grid
+// axis, the cross product is the run fleet. whatIf and timelines merge
+// into a single mode axis — each whatIf entry is a paired
+// counterfactual cell, each timelines entry a longitudinal cell, and
+// an explicit "" in either is the plain baseline. days applies to the
+// non-timeline cells (timeline schedules own their calendar); epochs
+// applies to the timeline cells.
+type sweepSpec struct {
+	Seeds        []int64   `json:"seeds"`
+	Scales       []float64 `json:"scales,omitempty"`
+	Presets      []string  `json:"presets,omitempty"`
+	NetProfiles  []string  `json:"netProfiles,omitempty"`
+	WhatIf       []string  `json:"whatIf,omitempty"`
+	Timelines    []string  `json:"timelines,omitempty"`
+	AttackParams string    `json:"attackParams,omitempty"`
+	Days         int       `json:"days,omitempty"`
+	Epochs       int       `json:"epochs,omitempty"`
+	Only         []string  `json:"only,omitempty"`
+}
+
+// expand builds the grid in deterministic order:
+// seeds × scales × presets × netProfiles × (whatIf ∪ timelines).
+func (sp sweepSpec) expand() []core.RunRequest {
+	one := func(vs []string) []string {
+		if len(vs) == 0 {
+			return []string{""}
+		}
+		return vs
+	}
+	seeds := sp.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	scales := sp.Scales
+	if len(scales) == 0 {
+		scales = []float64{0}
+	}
+	type modeCell struct{ whatIf, timeline string }
+	var modes []modeCell
+	for _, wi := range sp.WhatIf {
+		modes = append(modes, modeCell{whatIf: wi})
+	}
+	for _, tl := range sp.Timelines {
+		modes = append(modes, modeCell{timeline: tl})
+	}
+	if len(modes) == 0 {
+		modes = []modeCell{{}}
+	}
+
+	var out []core.RunRequest
+	for _, seed := range seeds {
+		for _, scale := range scales {
+			for _, preset := range one(sp.Presets) {
+				for _, np := range one(sp.NetProfiles) {
+					for _, m := range modes {
+						req := core.RunRequest{
+							Seed:         seed,
+							Scale:        scale,
+							Preset:       preset,
+							NetProfile:   np,
+							AttackParams: sp.AttackParams,
+							WhatIf:       m.whatIf,
+							Timeline:     m.timeline,
+							Only:         sp.Only,
+						}
+						if m.timeline == "" {
+							req.Days = sp.Days
+						} else {
+							req.Epochs = sp.Epochs
+						}
+						out = append(out, req)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sweepResult is one grid cell's NDJSON line.
+type sweepResult struct {
+	Index   int               `json:"index"`
+	Request core.RunRequest   `json:"request"`
+	Key     string            `json:"key"`
+	Cached  bool              `json:"cached"`
+	Results []json.RawMessage `json:"results"`
+}
+
+// handleSweeps expands a sweep grid, validates every cell before any
+// simulation runs, executes the fleet under the bounded slots (cache
+// coalescing deduplicates identical cells), and streams one NDJSON
+// line per cell in grid order.
+func (s *server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a sweep spec")
+		return
+	}
+	var spec sweepSpec
+	if err := decodeRequest(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	reqs := spec.expand()
+	if len(reqs) > maxSweepRuns {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("sweep expands to %d runs, above the %d-run cap; split it", len(reqs), maxSweepRuns))
+		return
+	}
+	// Validate the whole grid first: a bad cell fails the sweep before
+	// any compute is spent on the good ones.
+	resolved := make([]*experiments.Resolved, len(reqs))
+	for i, req := range reqs {
+		res, err := s.resolveForFleet(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("sweep cell %d (%+v): %v", i, req, err))
+			return
+		}
+		resolved[i] = res
+	}
+	s.logf("sweep: %d cells", len(resolved))
+
+	type cell struct {
+		body []byte
+		hit  bool
+		err  error
+	}
+	cells := make([]cell, len(resolved))
+	done := make(chan int)
+	for i := range resolved {
+		go func(i int) {
+			body, hit, err := s.compute(r.Context(), resolved[i])
+			cells[i] = cell{body, hit, err}
+			done <- i
+		}(i)
+	}
+	for range resolved {
+		<-done
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i, c := range cells {
+		if c.err != nil {
+			enc.Encode(map[string]any{"index": i, "key": resolved[i].Key, "error": c.err.Error()})
+			continue
+		}
+		var lines []json.RawMessage
+		for _, line := range strings.Split(strings.TrimRight(string(c.body), "\n"), "\n") {
+			if line != "" {
+				lines = append(lines, json.RawMessage(line))
+			}
+		}
+		enc.Encode(sweepResult{
+			Index:   i,
+			Request: resolved[i].Req,
+			Key:     resolved[i].Key,
+			Cached:  c.hit,
+			Results: lines,
+		})
+	}
+}

@@ -1,0 +1,379 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"tcsb/internal/core"
+	"tcsb/internal/experiments"
+)
+
+// testServer is a small fleet over a tiny worker budget — enough to
+// exercise slot contention without slowing the suite down.
+func testServer() *server {
+	return newServer(2, 4, 64, nil)
+}
+
+// tinyRun is the smallest campaign that exercises the full pipeline:
+// a fraction of the default population observed for one day.
+func tinyRun() core.RunRequest {
+	return core.RunRequest{Seed: 3, Scale: 0.05, Days: 1, Only: []string{"table1"}}
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func TestReadEndpoints(t *testing.T) {
+	h := testServer().handler()
+
+	if w := get(t, h, "/v1/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body)
+	}
+
+	var catalog []experiments.Describe
+	w := get(t, h, "/v1/experiments")
+	if w.Code != http.StatusOK {
+		t.Fatalf("experiments: %d %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &catalog); err != nil {
+		t.Fatal(err)
+	}
+	if len(catalog) == 0 {
+		t.Fatal("empty experiment catalog")
+	}
+
+	// Every catalog entry must be fetchable by name.
+	if w := get(t, h, "/v1/experiments/"+catalog[0].Name); w.Code != http.StatusOK {
+		t.Fatalf("experiments/%s: %d %s", catalog[0].Name, w.Code, w.Body)
+	}
+	if w := get(t, h, "/v1/experiments/no-such-figure"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown experiment: %d, want 404", w.Code)
+	}
+
+	var presets map[string][]map[string]any
+	w = get(t, h, "/v1/presets")
+	if err := json.Unmarshal(w.Body.Bytes(), &presets); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"scale", "net", "timeline"} {
+		if len(presets[family]) == 0 {
+			t.Errorf("preset family %q is empty", family)
+		}
+	}
+
+	if w := get(t, h, "/v1/interventions"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "hydra-dissolution") {
+		t.Fatalf("interventions: %d %s", w.Code, w.Body)
+	}
+	if w := get(t, h, "/v1/cache"); w.Code != http.StatusOK {
+		t.Fatalf("cache: %d %s", w.Code, w.Body)
+	}
+}
+
+// TestRunRequestValidation pins the 4xx surface: malformed bodies,
+// unknown fields and every Resolve rejection are client errors — the
+// server never panics and never runs a campaign for invalid input.
+func TestRunRequestValidation(t *testing.T) {
+	h := testServer().handler()
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed JSON", `{"seed":`},
+		{"unknown field", `{"seed":1,"sclae":0.1}`},
+		{"negative days", `{"days":-1}`},
+		{"negative workers", `{"workers":-1}`},
+		{"days in timeline mode", `{"days":2,"timeline":"epochs=2"}`},
+		{"whatIf and timeline", `{"whatIf":"hydra-dissolution","timeline":"epochs=2"}`},
+		{"unknown experiment", `{"only":["fig999"]}`},
+		{"unknown intervention", `{"whatIf":"bogus"}`},
+		{"bad net profile", `{"netProfile":"net.nope"}`},
+		{"bad timeline grammar", `{"timeline":"epochs=zero"}`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodPost, "/v1/runs", strings.NewReader(tc.body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", w.Code, w.Body)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e["error"] == "" {
+				t.Fatalf("error body %q is not {\"error\": ...}", w.Body)
+			}
+		})
+	}
+
+	if w := get(t, testServer().handler(), "/v1/runs"); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/runs: %d, want 405", w.Code)
+	}
+}
+
+// TestCacheHitByteIdentity is the acceptance pin for the run cache:
+// in all three execution modes, the second POST of a request is a cache
+// hit whose body is byte-identical to the fresh run AND to a direct
+// engine execution of the same resolved request.
+func TestCacheHitByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	modes := []struct {
+		name string
+		req  core.RunRequest
+	}{
+		{"run", tinyRun()},
+		{"what-if", core.RunRequest{Seed: 3, Scale: 0.05, Days: 1, WhatIf: "hydra-dissolution", Only: []string{"whatif.fig3"}}},
+		{"timeline", core.RunRequest{Seed: 3, Scale: 0.05, Timeline: "epochs=2;days=1", Only: []string{"timeline.population"}}},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			s := testServer()
+			h := s.handler()
+
+			first := postJSON(t, h, "/v1/runs", m.req)
+			if first.Code != http.StatusOK {
+				t.Fatalf("first POST: %d %s", first.Code, first.Body)
+			}
+			if got := first.Header().Get("X-Tcsb-Cache"); got != "miss" {
+				t.Fatalf("first POST X-Tcsb-Cache = %q, want miss", got)
+			}
+			second := postJSON(t, h, "/v1/runs", m.req)
+			if second.Code != http.StatusOK {
+				t.Fatalf("second POST: %d %s", second.Code, second.Body)
+			}
+			if got := second.Header().Get("X-Tcsb-Cache"); got != "hit" {
+				t.Fatalf("second POST X-Tcsb-Cache = %q, want hit", got)
+			}
+			if k1, k2 := first.Header().Get("X-Tcsb-Run-Key"), second.Header().Get("X-Tcsb-Run-Key"); k1 == "" || k1 != k2 {
+				t.Fatalf("run keys %q vs %q", k1, k2)
+			}
+			if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+				t.Fatal("cache hit is not byte-identical to the fresh run")
+			}
+
+			// And both equal a direct engine execution, bypassing the
+			// server entirely — the cache serves real output, not a copy
+			// that could drift.
+			res, err := experiments.Resolve(m.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := res.ExecuteJSONL(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Body.Bytes(), direct) {
+				t.Fatal("served bytes differ from a direct engine run")
+			}
+		})
+	}
+}
+
+// TestSweepValidation pins the all-before-any contract: one bad grid
+// cell fails the whole sweep with a 400 naming the cell, before any
+// simulation runs.
+func TestSweepValidation(t *testing.T) {
+	s := testServer()
+	h := s.handler()
+
+	w := postJSON(t, h, "/v1/sweeps", map[string]any{
+		"seeds":       []int64{1, 2},
+		"scales":      []float64{0.05},
+		"netProfiles": []string{"net.ideal", "net.nope"},
+		"days":        1,
+	})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad cell: %d %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "net.nope") {
+		t.Fatalf("error does not name the bad cell: %s", w.Body)
+	}
+	if st := s.cache.Stats(); st.Misses != 0 {
+		t.Fatalf("sweep ran %d campaigns before validation finished", st.Misses)
+	}
+
+	// The grid bound is enforced before resolution.
+	seeds := make([]int64, maxSweepRuns+1)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	w = postJSON(t, h, "/v1/sweeps", map[string]any{"seeds": seeds, "days": 1})
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "cap") {
+		t.Fatalf("oversized sweep: %d %s", w.Code, w.Body)
+	}
+}
+
+// TestSweepExecutesAndCoalesces runs a small grid twice: the first pass
+// computes every distinct cell once (duplicate cells coalesce onto one
+// campaign), the second is fully cache-served with identical bytes.
+func TestSweepExecutesAndCoalesces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	s := testServer()
+	h := s.handler()
+	spec := map[string]any{
+		"seeds":  []int64{3, 4},
+		"scales": []float64{0.05},
+		"days":   1,
+		"only":   []string{"table1"},
+	}
+
+	cold := postJSON(t, h, "/v1/sweeps", spec)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold sweep: %d %s", cold.Code, cold.Body)
+	}
+	var rows []sweepResult
+	dec := json.NewDecoder(bytes.NewReader(cold.Body.Bytes()))
+	for dec.More() {
+		var r sweepResult
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.Index != i || r.Key == "" || len(r.Results) == 0 {
+			t.Fatalf("row %d malformed: %+v", i, r)
+		}
+	}
+	if rows[0].Key == rows[1].Key {
+		t.Fatal("different seeds share a key")
+	}
+
+	warm := postJSON(t, h, "/v1/sweeps", spec)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm sweep: %d %s", warm.Code, warm.Body)
+	}
+	var warmRows []sweepResult
+	dec = json.NewDecoder(bytes.NewReader(warm.Body.Bytes()))
+	for dec.More() {
+		var r sweepResult
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		warmRows = append(warmRows, r)
+	}
+	for i := range rows {
+		if !warmRows[i].Cached {
+			t.Errorf("warm row %d not cache-served", i)
+		}
+		a, _ := json.Marshal(rows[i].Results)
+		b, _ := json.Marshal(warmRows[i].Results)
+		if !bytes.Equal(a, b) {
+			t.Errorf("warm row %d differs from cold row", i)
+		}
+	}
+	if st := s.cache.Stats(); st.Misses != 2 {
+		t.Fatalf("cache computed %d campaigns for 2 distinct cells run twice", st.Misses)
+	}
+}
+
+// TestConcurrentRunsCoalesce hammers one key from many goroutines
+// through the full HTTP stack; the fleet must run exactly one campaign
+// and every response must be byte-identical. Run under -race in CI.
+func TestConcurrentRunsCoalesce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	s := testServer()
+	h := s.handler()
+	req := tinyRun()
+
+	const clients = 8
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _ := json.Marshal(req)
+			r := httptest.NewRequest(http.MethodPost, "/v1/runs", bytes.NewReader(b))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			if w.Code == http.StatusOK {
+				bodies[i] = w.Body.Bytes()
+			} else {
+				t.Errorf("client %d: %d %s", i, w.Code, w.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if st := s.cache.Stats(); st.Misses != 1 {
+		t.Fatalf("%d campaigns ran for one key under concurrency", st.Misses)
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d received different bytes", i)
+		}
+	}
+}
+
+// TestRecoverMiddleware proves a handler panic surfaces as a 500 JSON
+// error, not a dead process.
+func TestRecoverMiddleware(t *testing.T) {
+	s := testServer()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	h := s.recoverPanics(mux)
+
+	w := get(t, h, "/boom")
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || !strings.Contains(e["error"], "kaboom") {
+		t.Fatalf("body %q", w.Body)
+	}
+}
+
+// TestWorkerClampNeverChangesBytes pins the fleet scheduler's safety
+// property end to end: the same request at different worker allotments
+// resolves one key and one byte stream.
+func TestWorkerClampNeverChangesBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	wide := newServer(1, 8, 16, nil)
+	narrow := newServer(4, 1, 16, nil)
+
+	req := tinyRun()
+	a := postJSON(t, wide.handler(), "/v1/runs", req)
+	b := postJSON(t, narrow.handler(), "/v1/runs", req)
+	if a.Code != http.StatusOK || b.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", a.Code, b.Code)
+	}
+	if a.Header().Get("X-Tcsb-Run-Key") != b.Header().Get("X-Tcsb-Run-Key") {
+		t.Fatal("worker allotment leaked into the cache key")
+	}
+	if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
+		t.Fatal("worker allotment changed the output bytes")
+	}
+}

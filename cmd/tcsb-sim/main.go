@@ -25,17 +25,31 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 0.5, "population scale factor")
 	days := flag.Int("days", 3, "days to simulate")
-	workers := flag.Int("workers", runtime.NumCPU(), "goroutine pool size for tick phases (output is identical for every value)")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutine pool size for tick phases (output is identical for every value; must be positive)")
 	flag.Parse()
+
+	// Non-positive shapes are configuration errors (exit 2), not silent
+	// fallbacks: the pool never changes the output, so there is nothing
+	// a zero-worker or zero-day run could mean.
+	if *workers <= 0 {
+		fmt.Fprintf(os.Stderr, "tcsb-sim: -workers must be positive (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	if *days <= 0 {
+		fmt.Fprintf(os.Stderr, "tcsb-sim: -days must be positive (got %d)\n", *days)
+		os.Exit(2)
+	}
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "tcsb-sim: -scale must be positive (got %g)\n", *scale)
+		os.Exit(2)
+	}
 
 	cfg := scenario.DefaultConfig().Scaled(*scale)
 	cfg.Seed = *seed
 
 	start := time.Now()
 	w := scenario.NewWorld(cfg)
-	if *workers > 0 {
-		w.Workers = *workers
-	}
+	w.Workers = *workers
 	build := time.Since(start)
 
 	start = time.Now()

@@ -78,6 +78,19 @@
 // straight-through one, and the invariant suite holds at every epoch
 // boundary.
 //
+// A campaign service (cmd/tcsb-server) puts the engine behind a
+// long-running HTTP/JSON API: the experiments registry and preset
+// families served machine-readable, single runs (POST /v1/runs) and
+// parameter sweeps (POST /v1/sweeps — seeds × scales × presets × net
+// profiles × what-if/timeline cells) executed by a bounded campaign
+// fleet under one worker budget. The CLI and the server reduce their
+// inputs to one canonical core.RunRequest resolved in one place
+// (experiments.Resolve), which keys a content-addressed run cache
+// (internal/runcache): determinism makes hits exact — byte-identical
+// to a fresh run — and concurrent identical requests coalesce into a
+// single campaign. Invalid input is an exit-2 diagnostic or an HTTP
+// 4xx, never a panic.
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured
 // results (regenerable via `go run ./cmd/tcsb-experiments -json`). The

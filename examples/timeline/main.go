@@ -36,7 +36,10 @@ func main() {
 	}
 
 	fmt.Printf("=== timeline: %s ===\n\n", sch.Spec())
-	tr := core.RunTimeline(cfg, rc, sch)
+	tr, err := core.RunTimeline(cfg, rc, sch)
+	if err != nil {
+		log.Fatal(err)
+	}
 	results, err := experiments.RunTimeline(tr, nil, 2)
 	if err != nil {
 		log.Fatal(err)

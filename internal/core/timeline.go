@@ -92,14 +92,14 @@ type TimelineResult struct {
 	World *scenario.World
 }
 
-// RunTimeline runs the full schedule: epochs [0, Epochs).
-func RunTimeline(cfg scenario.Config, rc RunConfig, sch *timeline.Compiled) *TimelineResult {
-	tr, err := runTimeline(cfg, rc, sch, 0, sch.Schedule().Epochs, nil, nil)
-	if err != nil {
-		// Unreachable without a verify checkpoint; keep the invariant loud.
-		panic(err)
-	}
-	return tr
+// RunTimeline runs the full schedule: epochs [0, Epochs). The error
+// path exists for symmetry with ResumeTimeline (checkpoint
+// verification is what can fail); a full run from epoch 0 never
+// verifies and so returns a nil error today — but callers must handle
+// it rather than panic, so the library never traps across the CLI or
+// server API boundary.
+func RunTimeline(cfg scenario.Config, rc RunConfig, sch *timeline.Compiled) (*TimelineResult, error) {
+	return runTimeline(cfg, rc, sch, 0, sch.Schedule().Epochs, nil, nil)
 }
 
 // RunTimelineUntil runs epochs [0, upTo) and stops at that boundary;
@@ -136,12 +136,8 @@ func ResumeTimeline(cfg scenario.Config, rc RunConfig, sch *timeline.Compiled, c
 // RunTimelineWithHook is RunTimeline with a callback invoked at every
 // epoch's end boundary, on the serial path, with the live world — the
 // attachment point of the epoch-boundary invariant suite.
-func RunTimelineWithHook(cfg scenario.Config, rc RunConfig, sch *timeline.Compiled, onEpoch func(epoch int, w *scenario.World)) *TimelineResult {
-	tr, err := runTimeline(cfg, rc, sch, 0, sch.Schedule().Epochs, nil, onEpoch)
-	if err != nil {
-		panic(err)
-	}
-	return tr
+func RunTimelineWithHook(cfg scenario.Config, rc RunConfig, sch *timeline.Compiled, onEpoch func(epoch int, w *scenario.World)) (*TimelineResult, error) {
+	return runTimeline(cfg, rc, sch, 0, sch.Schedule().Epochs, nil, onEpoch)
 }
 
 // runTimeline executes epochs [0, to), reporting rows from `from`

@@ -6,8 +6,21 @@ import (
 
 	"tcsb/internal/core"
 	"tcsb/internal/counterfactual"
+	"tcsb/internal/scenario"
 	"tcsb/internal/simtest/campaign"
+	"tcsb/internal/timeline"
 )
+
+// mustTimeline runs a longitudinal campaign, failing the test on the
+// error path RunTimeline now reports instead of panicking.
+func mustTimeline(t *testing.T, cfg scenario.Config, rc core.RunConfig, sch *timeline.Compiled) *core.TimelineResult {
+	t.Helper()
+	tr, err := core.RunTimeline(cfg, rc, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
 
 // renderTimeline runs the full timeline.* catalog over a result and
 // renders both output formats.
@@ -55,8 +68,8 @@ func TestTimelineWorkerDeterminism(t *testing.T) {
 		return rc
 	}
 
-	serial := core.RunTimeline(cfg, rcWith(1), sch)
-	pooled := core.RunTimeline(cfg, rcWith(8), sch)
+	serial := mustTimeline(t, cfg, rcWith(1), sch)
+	pooled := mustTimeline(t, cfg, rcWith(8), sch)
 	serialText, serialJSON := renderTimeline(t, serial, 1)
 	pooledText, pooledJSON := renderTimeline(t, pooled, 4)
 	if serialText != pooledText {
@@ -164,8 +177,8 @@ func TestTimelineWorkerDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	attackSerial := core.RunTimeline(cfg, rcWith(1), attackSch)
-	attackPooled := core.RunTimeline(cfg, rcWith(8), attackSch)
+	attackSerial := mustTimeline(t, cfg, rcWith(1), attackSch)
+	attackPooled := mustTimeline(t, cfg, rcWith(8), attackSch)
 	attackSerialText, attackSerialJSON := renderTimeline(t, attackSerial, 1)
 	attackPooledText, attackPooledJSON := renderTimeline(t, attackPooled, 4)
 	if attackSerialText != attackPooledText {
@@ -217,8 +230,8 @@ func TestTimelineWorkerDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	netSerial := core.RunTimeline(cfg, rcWith(1), netSch)
-	netPooled := core.RunTimeline(cfg, rcWith(8), netSch)
+	netSerial := mustTimeline(t, cfg, rcWith(1), netSch)
+	netPooled := mustTimeline(t, cfg, rcWith(8), netSch)
 	netSerialText, netSerialJSON := renderTimeline(t, netSerial, 1)
 	netPooledText, netPooledJSON := renderTimeline(t, netPooled, 4)
 	if netSerialText != netPooledText {
@@ -273,7 +286,7 @@ func TestRunTimelineSelection(t *testing.T) {
 	}
 	rc := campaign.SmallRunConfig()
 	rc.Workers = 2
-	tr := core.RunTimeline(campaign.SmallConfig(3), rc, sch)
+	tr := mustTimeline(t, campaign.SmallConfig(3), rc, sch)
 
 	results, err := RunTimeline(tr, []string{"timeline.population", "timeline.schedule"}, 2)
 	if err != nil {

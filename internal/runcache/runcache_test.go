@@ -1,0 +1,109 @@
+package runcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetOrComputeStoresAndHits(t *testing.T) {
+	c := New(0)
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("payload"), nil }
+
+	v, hit, err := c.GetOrCompute("k", compute)
+	if err != nil || hit || string(v) != "payload" {
+		t.Fatalf("first call: v=%q hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = c.GetOrCompute("k", compute)
+	if err != nil || !hit || string(v) != "payload" {
+		t.Fatalf("second call: v=%q hit=%v err=%v", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Hits != 1 || s.Misses != 1 || s.Bytes != int64(len("payload")) {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := c.GetOrCompute("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(v) != "ok" {
+		t.Fatalf("after error: v=%q hit=%v err=%v (error must not poison the key)", v, hit, err)
+	}
+}
+
+// TestSingleFlightCoalesces proves a thundering herd of identical keys
+// runs exactly one computation, with every follower receiving the same
+// bytes. Run under -race in CI.
+func TestSingleFlightCoalesces(t *testing.T) {
+	c := New(0)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const herd = 16
+
+	var wg sync.WaitGroup
+	vals := make([][]byte, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute("hot", func() ([]byte, error) {
+				computes.Add(1)
+				<-release
+				return []byte("hot-bytes"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Let the herd pile up, then release the one computation. Every
+	// follower must reach the in-flight wait before release: the leader
+	// is parked on the channel, so they can only coalesce.
+	for c.Stats().Coalesced < herd-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computations for one key, want 1", got)
+	}
+	for i, v := range vals {
+		if !bytes.Equal(v, []byte("hot-bytes")) {
+			t.Fatalf("waiter %d got %q", i, v)
+		}
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("oldest entry survived past the cap")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s evicted early", k)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 || s.Bytes != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}

@@ -1,0 +1,70 @@
+package scenario
+
+// The canonical config digest: a content hash over every Config field,
+// walked by reflection in declaration order so a field added to Config
+// (or AttackConfig) can never silently fall out of the hash. It is the
+// config half of the content-addressed run-cache key — the engine's
+// determinism guarantee means two runs with equal config digests, seeds
+// and specs produce byte-identical output, so a digest collision-free
+// key makes cache hits *exact*, not approximate.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// Digest returns the canonical content hash of the config as a hex
+// string. Equal configs always digest equally; any field change —
+// including inside the weight maps and the nested AttackConfig —
+// produces a new digest (pinned by TestConfigDigestFieldSensitivity,
+// which walks the struct by reflection so new fields are covered
+// automatically).
+func (c Config) Digest() string {
+	h := sha256.New()
+	writeCanonical(h, reflect.ValueOf(c), "Config")
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonical emits a stable "path=value" line stream for the value.
+// Map keys are sorted; floats render with strconv's shortest exact
+// form, so the encoding is injective on the field kinds Config uses.
+// An unsupported kind panics: the walk runs over our own struct, never
+// over external input, so a miss is a programming error to fix here.
+func writeCanonical(w io.Writer, v reflect.Value, path string) {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			writeCanonical(w, v.Field(i), path+"."+t.Field(i).Name)
+		}
+	case reflect.Map:
+		if v.Type().Key().Kind() != reflect.String {
+			panic(fmt.Sprintf("scenario: config digest over non-string map key at %s", path))
+		}
+		keys := make([]string, 0, v.Len())
+		for _, k := range v.MapKeys() {
+			keys = append(keys, k.String())
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeCanonical(w, v.MapIndex(reflect.ValueOf(k)), path+"["+k+"]")
+		}
+	case reflect.Bool:
+		fmt.Fprintf(w, "%s=%t\n", path, v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(w, "%s=%d\n", path, v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fmt.Fprintf(w, "%s=%d\n", path, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		fmt.Fprintf(w, "%s=%s\n", path, strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.String:
+		fmt.Fprintf(w, "%s=%q\n", path, v.String())
+	default:
+		panic(fmt.Sprintf("scenario: config digest over unsupported kind %s at %s", v.Kind(), path))
+	}
+}

@@ -134,7 +134,7 @@ func TestAttackContractsTimeline(t *testing.T) {
 				t.Fatal(err)
 			}
 			cfg := campaign.SmallConfig(3)
-			core.RunTimelineWithHook(cfg, rc, sch, func(epoch int, w *scenario.World) {
+			_, err = core.RunTimelineWithHook(cfg, rc, sch, func(epoch int, w *scenario.World) {
 				vs := invariants.CheckAttackSurface(w)
 				if epoch < 2 {
 					for _, v := range vs {
@@ -146,6 +146,9 @@ func TestAttackContractsTimeline(t *testing.T) {
 					t.Errorf("epoch %d: %s", epoch, f)
 				}
 			})
+			if err != nil {
+				t.Fatal(err)
+			}
 		})
 	}
 }

@@ -29,9 +29,14 @@ type Sketch struct {
 	sum   float64
 	min   float64
 	max   float64
-	// exact holds the first samples verbatim (insertion order; sorted
-	// lazily per query). nil once spilled.
-	exact []float64
+	// exact holds the first samples verbatim. nil once spilled. Kept
+	// sorted lazily: exactDirty marks appends since the last sort, and
+	// the first quantile query sorts in place — repeated queries are
+	// then allocation-free instead of copying and re-sorting each time.
+	// (Bucketization on spill is order-independent, so the in-place
+	// sort never changes a spilled sketch's buckets.)
+	exact      []float64
+	exactDirty bool
 	// buckets is the log-linear histogram, allocated on spill.
 	buckets []uint32
 	// underflow counts samples <= 0 or below the smallest bucket.
@@ -97,6 +102,7 @@ func (s *Sketch) Observe(v float64) {
 	s.sum += v
 	if s.buckets == nil && len(s.exact) < sketchExactCap {
 		s.exact = append(s.exact, v)
+		s.exactDirty = true
 		return
 	}
 	s.spill()
@@ -145,6 +151,7 @@ func (s *Sketch) Merge(other *Sketch) {
 	s.sum += other.sum
 	if s.buckets == nil && other.buckets == nil && len(s.exact)+len(other.exact) <= sketchExactCap {
 		s.exact = append(s.exact, other.exact...)
+		s.exactDirty = true
 		return
 	}
 	s.spill()
@@ -190,11 +197,21 @@ func (s *Sketch) Mean() float64 {
 	return s.sum / float64(s.count)
 }
 
-// Quantile returns the p-th percentile (0 <= p <= 100). In the exact
-// regime it matches Percentile; in the spilled regime it returns the
-// midpoint of the bucket holding the target rank (relative error is
-// bounded by the bucket width, ~1/subBuckets), with min/max returned
-// exactly at the edges. Returns 0 when the sketch is empty.
+// Quantile returns the p-th percentile. In the exact regime it matches
+// Percentile; in the spilled regime it returns the midpoint of the
+// bucket holding the target rank (relative error is bounded by the
+// bucket width, ~1/subBuckets), with min/max returned exactly at the
+// edges.
+//
+// Contract differences from the free function Percentile, pinned by
+// tests: an empty sketch returns 0 (no panic), and p outside [0,100]
+// clamps to the nearest edge (no panic) — a sketch query is a summary
+// read at render time, where a degenerate input should yield the edge
+// statistic rather than take down a report.
+//
+// Queries sort the exact buffer in place on first use after a write, so
+// like writes they require single-goroutine access (the effect-lane
+// protocol already guarantees it); repeated queries allocate nothing.
 func (s *Sketch) Quantile(p float64) float64 {
 	if s.count == 0 {
 		return 0
@@ -206,9 +223,11 @@ func (s *Sketch) Quantile(p float64) float64 {
 		p = 100
 	}
 	if s.buckets == nil {
-		sorted := append([]float64(nil), s.exact...)
-		sort.Float64s(sorted)
-		return Percentile(sorted, p)
+		if s.exactDirty {
+			sort.Float64s(s.exact)
+			s.exactDirty = false
+		}
+		return percentileSorted(s.exact, p)
 	}
 	if p == 0 {
 		return s.min

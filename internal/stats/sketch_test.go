@@ -166,3 +166,66 @@ func TestSketchNonPositiveSamples(t *testing.T) {
 		t.Errorf("all-zero stream: p50=%v max=%v, want 0,0", s.Quantile(50), s.Max())
 	}
 }
+
+// TestSketchQuantileAllocFree pins the lazy-sort fix: after the first
+// query sorts the exact buffer in place, repeated queries allocate
+// nothing (the old implementation copied and re-sorted per call), and
+// a write in between re-sorts exactly once without changing results.
+func TestSketchQuantileAllocFree(t *testing.T) {
+	var s Sketch
+	for _, v := range sketchStream(7, sketchExactCap, 100) {
+		s.Observe(v)
+	}
+	s.Quantile(50) // first query pays the one sort
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.Quantile(50)
+		s.Quantile(99)
+		s.Jitter()
+	}); allocs != 0 {
+		t.Fatalf("repeated exact-regime queries allocate %v per run, want 0", allocs)
+	}
+
+	// Interleaved write → the next query must see the new sample.
+	var ref []float64
+	var s2 Sketch
+	for _, v := range sketchStream(11, 10, 100) {
+		s2.Observe(v)
+		ref = append(ref, v)
+	}
+	if got, want := s2.Quantile(50), Percentile(ref, 50); got != want {
+		t.Fatalf("pre-write query: %v, want %v", got, want)
+	}
+	s2.Observe(250)
+	ref = append(ref, 250)
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		if got, want := s2.Quantile(p), Percentile(ref, p); got != want {
+			t.Fatalf("post-write Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestSketchQuantileClamps pins the documented contract divergence from
+// Percentile: out-of-range p clamps to the edges instead of panicking,
+// in both regimes.
+func TestSketchQuantileClamps(t *testing.T) {
+	exact := &Sketch{}
+	for _, v := range sketchStream(3, 20, 50) {
+		exact.Observe(v)
+	}
+	spilled := &Sketch{}
+	for _, v := range sketchStream(3, sketchExactCap*4, 50) {
+		spilled.Observe(v)
+	}
+	for name, s := range map[string]*Sketch{"exact": exact, "spilled": spilled} {
+		if got, want := s.Quantile(-10), s.Quantile(0); got != want {
+			t.Errorf("%s: Quantile(-10) = %v, want clamp to Quantile(0) = %v", name, got, want)
+		}
+		if got, want := s.Quantile(150), s.Quantile(100); got != want {
+			t.Errorf("%s: Quantile(150) = %v, want clamp to Quantile(100) = %v", name, got, want)
+		}
+		if s.Quantile(0) != s.Min() || s.Quantile(100) != s.Max() {
+			t.Errorf("%s: edge quantiles (%v, %v) should be min/max (%v, %v)",
+				name, s.Quantile(0), s.Quantile(100), s.Min(), s.Max())
+		}
+	}
+}

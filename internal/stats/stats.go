@@ -54,7 +54,10 @@ func CDFAt(points []CDFPoint, x float64) float64 {
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of the samples
 // using linear interpolation between order statistics. It panics on an
-// empty input or out-of-range p: percentiles of nothing are a caller bug.
+// empty input or out-of-range p: percentiles of nothing are a caller
+// bug. (Sketch.Quantile deliberately differs: it clamps out-of-range p
+// and returns 0 when empty — it is a render-time summary read, not an
+// analysis primitive.)
 func Percentile(samples []float64, p float64) float64 {
 	if len(samples) == 0 {
 		panic("stats: Percentile of empty sample set")
@@ -64,6 +67,13 @@ func Percentile(samples []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// percentileSorted is the interpolation core shared by Percentile and
+// Sketch.Quantile: sorted non-empty input, p already in [0,100], no
+// copying — which is what makes repeated sketch queries allocation-free.
+func percentileSorted(s []float64, p float64) float64 {
 	if len(s) == 1 {
 		return s[0]
 	}
