@@ -243,12 +243,30 @@ func BenchmarkDerivations(b *testing.B) {
 			_ = analysis.Profiles(&o.Records, isCloud)
 		}
 	})
-	b.Run("hydra-activity", func(b *testing.B) {
+	// The map-copying accessors vs the iterator accessors the render
+	// path (peerPareto/ipPareto, Figs. 10–11) migrated to. The copy
+	// materializes every distinct identifier per call — ~127 KB / 20
+	// allocs on this fixture, and before the migration four such maps
+	// (hydra/monitor × peer/IP) were memoized per observatory (doubled
+	// by every what-if pairing). The iterator walks the accumulator's
+	// dense columnar storage and allocates nothing; the per-experiment
+	// BenchmarkExperiments/fig10,fig11 rows carry a few extra stack
+	// frames per yield but no retained copies at all.
+	b.Run("hydra-activity-copy", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = o.HydraStats().ActivityByPeer()
 			_ = o.HydraStats().ActivityByIP()
 		}
+	})
+	b.Run("hydra-activity-iter", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int64
+		for i := 0; i < b.N; i++ {
+			o.HydraStats().EachPeerActivity(func(_ ids.PeerID, c int64) { n += c })
+			o.HydraStats().EachIPActivity(func(_ netip.Addr, c int64) { n += c })
+		}
+		_ = n
 	})
 }
 

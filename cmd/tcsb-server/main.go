@@ -15,6 +15,11 @@
 //	POST /v1/runs           run (or serve from cache) one campaign; NDJSON
 //	POST /v1/sweeps         expand a parameter grid and run the fleet; NDJSON
 //
+// Profiling: -pprof ADDR (e.g. -pprof localhost:6060) serves the
+// standard net/http/pprof endpoints (/debug/pprof/...) on a separate
+// listener, so heap and CPU profiles of a live fleet can be captured
+// without exposing the profiler on the API address. Off by default.
+//
 // Determinism makes the cache exact: a run's rendered output is a pure
 // function of its canonical request, so a warm key returns bytes
 // identical to a fresh campaign. Responses carry X-Tcsb-Run-Key (the
@@ -32,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,6 +53,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "global campaign worker budget, split across the fleet")
 	fleet := flag.Int("fleet", 2, "maximum concurrently executing campaigns")
 	cacheEntries := flag.Int("cache-entries", 256, "run-cache capacity in stored runs (0 = unbounded)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = disabled")
 	flag.Parse()
 
 	// Non-positive shape flags are configuration errors, not requests
@@ -76,6 +83,24 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if *pprofAddr != "" {
+		// The profiler gets its own mux and listener: the API handler
+		// never exposes /debug/pprof, and binding the profiler to
+		// localhost keeps it off the service address entirely.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		log.Printf("pprof on %s", *pprofAddr)
+	}
 	log.Printf("listening on %s (fleet=%d, workers/run=%d, cache=%d entries)",
 		*addr, *fleet, s.perRun, *cacheEntries)
 

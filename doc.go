@@ -23,12 +23,18 @@
 // Hydra logger) fold every event into bounded per-vantage statistics
 // (internal/trace Sink/Accum/Pipeline, fed through the same effect
 // lanes) instead of materializing the raw trace, which keeps memory
-// bounded by distinct identifiers rather than traffic volume and makes
-// the scale.* scenario family (-preset scale.2x/4x/10x, Config.Scaled
-// cloning hooks) routine. Raw event logs are available behind the
-// explicit -retain-trace / RunConfig.RetainTrace opt-in; streaming and
-// batch results are pinned equal by the sink-vs-log equivalence
-// property in internal/simtest/invariants.
+// bounded by distinct identifiers rather than traffic volume. On top of
+// that, identifiers themselves are interned into dense uint32 handles
+// (internal/intern: PeerH/CIDH/AddrH, deterministic append-only tables
+// whose digest is pinned across worker counts and checkpoint/resume),
+// and the hot stores are columnar — flat handle-indexed ledgers with
+// day-bucketed expiry instead of identifier-keyed maps — which makes
+// the scale.* scenario family (-preset scale.2x/4x/10x/25x,
+// Config.Scaled cloning hooks) routine under bounded RSS. Raw event
+// logs are available behind the explicit -retain-trace /
+// RunConfig.RetainTrace opt-in; streaming and batch results are pinned
+// equal by the sink-vs-log equivalence property in
+// internal/simtest/invariants.
 //
 // A counterfactual layer (internal/counterfactual) turns the calibrated
 // replay into an instrument: named interventions — hydra-dissolution,

@@ -358,16 +358,20 @@ func (o *Observatory) Fig10PeerPareto() (dht, bitswap ParetoResult) {
 		}
 		return "non-gateway"
 	}
-	return o.peerPareto(o.HydraActivityByPeer(), group),
-		o.peerPareto(o.MonitorActivityByPeer(), group)
+	return peerPareto(o.HydraStats().EachPeerActivity, group),
+		peerPareto(o.MonitorStats().EachPeerActivity, group)
 }
 
-func (o *Observatory) peerPareto(act map[ids.PeerID]int64, group func(ids.PeerID) string) ParetoResult {
+// peerPareto consumes the accumulator's activity iterator directly: the
+// four analyses stream the columnar per-handle counters instead of each
+// experiment materializing (and the memo retaining) a 32-byte-keyed
+// copy of the full per-peer activity map.
+func peerPareto(act trace.Seq[ids.PeerID], group func(ids.PeerID) string) ParetoResult {
 	return ParetoResult{
-		Top5Share:    trace.TopShare(act, 0.05),
-		GroupTraffic: trace.GroupTrafficShare(act, group),
-		GroupMembers: trace.GroupMemberShare(act, group),
-		Curves:       trace.SplitPareto(act, group),
+		Top5Share:    trace.TopShareSeq(act, 0.05),
+		GroupTraffic: trace.GroupTrafficShareSeq(act, group),
+		GroupMembers: trace.GroupMemberShareSeq(act, group),
+		Curves:       trace.SplitParetoSeq(act, group),
 	}
 }
 
@@ -376,15 +380,15 @@ func (o *Observatory) peerPareto(act map[ids.PeerID]int64, group func(ids.PeerID
 func (o *Observatory) Fig11IPPareto() (dht, bitswap ParetoResult) {
 	cloudAttr := o.World.CloudAttr()
 	group := func(ip netip.Addr) string { return cloudAttr(ip) }
-	ipPareto := func(act map[netip.Addr]int64) ParetoResult {
+	ipPareto := func(act trace.Seq[netip.Addr]) ParetoResult {
 		return ParetoResult{
-			Top5Share:    trace.TopShare(act, 0.05),
-			GroupTraffic: trace.GroupTrafficShare(act, group),
-			GroupMembers: trace.GroupMemberShare(act, group),
-			Curves:       trace.SplitPareto(act, group),
+			Top5Share:    trace.TopShareSeq(act, 0.05),
+			GroupTraffic: trace.GroupTrafficShareSeq(act, group),
+			GroupMembers: trace.GroupMemberShareSeq(act, group),
+			Curves:       trace.SplitParetoSeq(act, group),
 		}
 	}
-	return ipPareto(o.HydraActivityByIP()), ipPareto(o.MonitorActivityByIP())
+	return ipPareto(o.HydraStats().EachIPActivity), ipPareto(o.MonitorStats().EachIPActivity)
 }
 
 // --- Fig. 12: cloud per traffic type ---

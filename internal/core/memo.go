@@ -1,13 +1,11 @@
 package core
 
 import (
-	"net/netip"
 	"sync"
 
 	"tcsb/internal/analysis"
 	"tcsb/internal/counting"
 	"tcsb/internal/graph"
-	"tcsb/internal/ids"
 )
 
 // memo caches derived datasets that several experiments share. Each field
@@ -28,18 +26,6 @@ type memo struct {
 
 	profilesOnce sync.Once
 	profiles     []analysis.ProviderProfile
-
-	hydraByPeerOnce sync.Once
-	hydraByPeer     map[ids.PeerID]int64
-
-	hydraByIPOnce sync.Once
-	hydraByIP     map[netip.Addr]int64
-
-	monitorByPeerOnce sync.Once
-	monitorByPeer     map[ids.PeerID]int64
-
-	monitorByIPOnce sync.Once
-	monitorByIP     map[netip.Addr]int64
 }
 
 // Dataset returns the crawl series in counting form, built once.
@@ -76,38 +62,9 @@ func (o *Observatory) ProviderProfiles() []analysis.ProviderProfile {
 	return o.memo.profiles
 }
 
-// HydraActivityByPeer returns the per-peer message counts of the Hydra
-// vantage, materialized from the streaming statistics once.
-func (o *Observatory) HydraActivityByPeer() map[ids.PeerID]int64 {
-	o.memo.hydraByPeerOnce.Do(func() {
-		o.memo.hydraByPeer = o.HydraStats().ActivityByPeer()
-	})
-	return o.memo.hydraByPeer
-}
-
-// HydraActivityByIP returns the per-IP message counts of the Hydra
-// vantage, materialized once.
-func (o *Observatory) HydraActivityByIP() map[netip.Addr]int64 {
-	o.memo.hydraByIPOnce.Do(func() {
-		o.memo.hydraByIP = o.HydraStats().ActivityByIP()
-	})
-	return o.memo.hydraByIP
-}
-
-// MonitorActivityByPeer returns the per-peer message counts of the
-// Bitswap monitor, materialized once.
-func (o *Observatory) MonitorActivityByPeer() map[ids.PeerID]int64 {
-	o.memo.monitorByPeerOnce.Do(func() {
-		o.memo.monitorByPeer = o.MonitorStats().ActivityByPeer()
-	})
-	return o.memo.monitorByPeer
-}
-
-// MonitorActivityByIP returns the per-IP message counts of the Bitswap
-// monitor, materialized once.
-func (o *Observatory) MonitorActivityByIP() map[netip.Addr]int64 {
-	o.memo.monitorByIPOnce.Do(func() {
-		o.memo.monitorByIP = o.MonitorStats().ActivityByIP()
-	})
-	return o.memo.monitorByIP
-}
+// The per-peer/per-IP activity memos are gone: experiments consume the
+// accumulators' EachPeerActivity/EachIPActivity iterators directly (see
+// peerPareto in experiments.go), so no experiment materializes a full
+// identifier-keyed activity map anymore. Accum reads are safe from the
+// parallel experiment runner — the campaign has finished observing by
+// the time experiments run, and pure reads never intern.

@@ -15,8 +15,10 @@ package crawler
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 
 	"tcsb/internal/ids"
+	"tcsb/internal/intern"
 	"tcsb/internal/maddr"
 	"tcsb/internal/netsim"
 )
@@ -80,9 +82,12 @@ type Observation struct {
 	Crawlable bool
 	// DialError, when not crawlable, records why ("offline", …).
 	DialError string
-	// Contacts is the peer's enumerated outgoing DHT connections
-	// (only for crawlable peers).
-	Contacts []ids.PeerID
+	// Contacts is the peer's enumerated outgoing DHT connections (only
+	// for crawlable peers), as dense handles into the network's intern
+	// tables — Snapshot.Intern (or Snapshot.Contact) resolves them back
+	// to peer IDs. Retained crawl series dominate peak memory at scale,
+	// and a handle is 4 bytes where the ID was 32.
+	Contacts []intern.PeerH
 	// SweepRPCs counts FindNode RPCs spent on this peer.
 	SweepRPCs int
 }
@@ -107,6 +112,10 @@ func (o *Observation) IPs() []netip.Addr {
 type Snapshot struct {
 	ID    int
 	Start netsim.Time
+	// Intern is the handle table bundle of the crawled network; it
+	// resolves Observation.Contacts handles. Shared (read-only) with
+	// every other snapshot of the same world.
+	Intern *intern.Tables
 	// Peers maps every discovered peer to its observation.
 	Peers map[ids.PeerID]*Observation
 	// Order preserves discovery order for deterministic iteration.
@@ -146,6 +155,9 @@ func (s *Snapshot) Crawlable() int {
 // Get returns the observation for a peer, or nil.
 func (s *Snapshot) Get(p ids.PeerID) *Observation { return s.Peers[p] }
 
+// Contact resolves a contact handle back to its peer ID.
+func (s *Snapshot) Contact(h intern.PeerH) ids.PeerID { return s.Intern.Peers.Value(h) }
+
 // sweepResult is what one parallel sweep learned about one peer before
 // the deterministic merge. Contacts carry IDs only: the merge resolves
 // addresses through the registry (netsim.Info), whose snapshots are
@@ -169,9 +181,10 @@ type sweepResult struct {
 func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 	cfg = cfg.withDefaults()
 	snap := &Snapshot{
-		ID:    cfg.ID,
-		Start: net.Clock.Now(),
-		Peers: make(map[ids.PeerID]*Observation),
+		ID:     cfg.ID,
+		Start:  net.Clock.Now(),
+		Intern: net.Intern,
+		Peers:  make(map[ids.PeerID]*Observation),
 	}
 
 	var queue []ids.PeerID
@@ -184,7 +197,10 @@ func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 			o.Addrs = mergeAddrs(o.Addrs, pi.Addrs)
 			return
 		}
-		snap.Peers[pi.ID] = &Observation{Peer: pi.ID, Addrs: append([]maddr.Addr(nil), pi.Addrs...)}
+		// The registry's address snapshots are immutable with exact
+		// capacity (see netsim.Addrs), so the observation aliases them
+		// instead of copying; mergeAddrs appends reallocate.
+		snap.Peers[pi.ID] = &Observation{Peer: pi.ID, Addrs: pi.Addrs}
 		snap.Order = append(snap.Order, pi.ID)
 		queue = append(queue, pi.ID)
 	}
@@ -219,7 +235,15 @@ func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 				continue
 			}
 			o.Crawlable = true
-			o.Contacts = r.contacts
+			// The wave merge runs on the driver goroutine, a serial
+			// point, so interning the enumerated contacts here is
+			// within the handle tables' write contract — and the
+			// contacts all came from routing tables of attached peers,
+			// so in practice they are already interned.
+			o.Contacts = make([]intern.PeerH, len(r.contacts))
+			for j, id := range r.contacts {
+				o.Contacts[j] = net.Intern.Peer(id)
+			}
 			for _, id := range r.contacts {
 				enqueue(net.Info(id))
 			}
@@ -240,7 +264,8 @@ func Crawl(net *netsim.Network, cfg Config, seeds []netsim.PeerInfo) *Snapshot {
 // (plus lane-deferred handler effects), collecting learned PeerInfos for
 // the caller to merge.
 func sweep(net *netsim.Network, env *netsim.Effects, cfg Config, p ids.PeerID) sweepResult {
-	sc := sweepScratchFor(env)
+	sc := sweepScratchPool.Get().(*sweepScratch)
+	defer sweepScratchPool.Put(sc)
 	clear(sc.seen)
 	var res sweepResult
 	mark := net.LatencyMark(env)
@@ -275,23 +300,20 @@ func sweep(net *netsim.Network, env *netsim.Effects, cfg Config, p ids.PeerID) s
 	return res
 }
 
-// sweepScratch is the per-lane reusable sweep state: the FindNode
-// response buffer and the per-peer dedup set, cleared per sweep.
+// sweepScratch is the reusable sweep state: the FindNode response
+// buffer and the per-peer dedup set, cleared per sweep. Scratch is
+// pooled by goroutine concurrency rather than pinned per Effects lane —
+// a crawl wave fans out over one lane per frontier peer, and a
+// network-sized dedup set retained on each lane dominated live memory
+// at scale.10x. Scratch never reaches the output, so pool assignment is
+// invisible to the determinism contract.
 type sweepScratch struct {
 	seen   map[ids.PeerID]bool
 	closer []ids.PeerID
 }
 
-func sweepScratchFor(env *netsim.Effects) *sweepScratch {
-	if env == nil {
-		return &sweepScratch{seen: make(map[ids.PeerID]bool)}
-	}
-	if sc, ok := env.Scratch.(*sweepScratch); ok {
-		return sc
-	}
-	sc := &sweepScratch{seen: make(map[ids.PeerID]bool)}
-	env.Scratch = sc
-	return sc
+var sweepScratchPool = sync.Pool{
+	New: func() any { return &sweepScratch{seen: make(map[ids.PeerID]bool)} },
 }
 
 // mergeAddrs unions src into dst. Addresses are comparable values, and

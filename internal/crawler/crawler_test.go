@@ -42,8 +42,8 @@ func TestCrawlEnumeratesFullBuckets(t *testing.T) {
 				nd.ID().Short(), len(o.Contacts), len(want))
 		}
 		for _, c := range o.Contacts {
-			if !want[c] {
-				t.Fatalf("peer %s: contact %s not in table", nd.ID().Short(), c.Short())
+			if id := snap.Contact(c); !want[id] {
+				t.Fatalf("peer %s: contact %s not in table", nd.ID().Short(), id.Short())
 			}
 		}
 	}

@@ -14,8 +14,10 @@ package dht
 
 import (
 	"sort"
+	"sync"
 
 	"tcsb/internal/ids"
+	"tcsb/internal/intern"
 	"tcsb/internal/kademlia"
 	"tcsb/internal/netsim"
 )
@@ -43,10 +45,6 @@ type WalkStats struct {
 type Walker struct {
 	net  *netsim.Network
 	self ids.PeerID
-	// sc is the serial-mode walk scratch (lazily created). Concurrent
-	// walks run on Effects lanes and keep their scratch on the lane
-	// instead — one goroutine per lane, one scratch per goroutine.
-	sc *walkScratch
 }
 
 // NewWalker creates a walker acting as `self` on the given network.
@@ -56,12 +54,22 @@ func NewWalker(net *netsim.Network, self ids.PeerID) *Walker {
 
 // walkScratch is the reusable state of one walk: candidate bookkeeping,
 // RPC response buffers, and the provider collection. A walk resets it on
-// entry and copies its results out on exit, so a single scratch serves
-// every walk that runs on its lane (or, serially, on its walker) — the
-// steady-state walk allocates nothing but its final result.
+// entry and copies its results out on exit, so a pooled scratch serves
+// arbitrarily many walks — the steady-state walk allocates nothing but
+// its final result.
 type walkScratch struct {
-	// flags[idx[p]] holds the queried/failed bits of candidate p.
-	idx    map[ids.PeerID]int32
+	// tab is the world's handle table bundle, read-only from walk lanes
+	// (walks never intern). nil in table-less unit tests.
+	tab *intern.Tables
+	// ext assigns scratch-local handles, from the top of the handle
+	// space downward, to candidates absent from tab — unattached seeds,
+	// which only degenerate tests and empty networks produce. Cleared
+	// per walk.
+	ext map[ids.PeerID]intern.PeerH
+	// flags[idx[h]] holds the queried/failed bits of candidate handle h:
+	// 4-byte keys instead of 32-byte identifiers in the walk's hottest
+	// membership maps.
+	idx    map[intern.PeerH]int32
 	flags  []uint8
 	sorted []ids.PeerID // candidates in increasing distance order
 	batch  []ids.PeerID
@@ -69,7 +77,7 @@ type walkScratch struct {
 	closer []ids.PeerID            // FindNode / GetProviders response buffer
 	recs   []netsim.ProviderRecord // GetProviders record response buffer
 
-	provSeen map[ids.PeerID]bool
+	provSeen map[intern.PeerH]bool
 	provs    []netsim.ProviderRecord
 }
 
@@ -78,33 +86,59 @@ const (
 	flagFailed
 )
 
-func newWalkScratch() *walkScratch {
+func newWalkScratch(tab *intern.Tables) *walkScratch {
 	return &walkScratch{
-		idx:      make(map[ids.PeerID]int32),
-		provSeen: make(map[ids.PeerID]bool),
+		tab:      tab,
+		ext:      make(map[ids.PeerID]intern.PeerH),
+		idx:      make(map[intern.PeerH]int32),
+		provSeen: make(map[intern.PeerH]bool),
 	}
 }
 
-// scratch returns the walk scratch for the lane the walk runs on: the
-// lane's (created on first use, reused across every walk and phase of
-// that lane) or the walker's own in serial mode.
-func (w *Walker) scratch(env *netsim.Effects) *walkScratch {
-	if env != nil {
-		if sc, ok := env.Scratch.(*walkScratch); ok {
-			return sc
+// peerH resolves a candidate to its dense handle: the world table's if
+// the peer was ever attached (a pure read — safe from concurrent
+// lanes), else a scratch-local one counted down from the top of the
+// handle space (unreachable by the append-only world table).
+func (sc *walkScratch) peerH(p ids.PeerID) intern.PeerH {
+	if sc.tab != nil {
+		if h, ok := sc.tab.Peers.Lookup(p); ok {
+			return h
 		}
-		sc := newWalkScratch()
-		env.Scratch = sc
-		return sc
 	}
-	if w.sc == nil {
-		w.sc = newWalkScratch()
+	if h, ok := sc.ext[p]; ok {
+		return h
 	}
-	return w.sc
+	h := intern.PeerH(^uint32(0) - uint32(len(sc.ext)))
+	sc.ext[p] = h
+	return h
+}
+
+// walkScratchPool recycles scratch across walks process-wide. Pooling by
+// goroutine concurrency — instead of pinning one scratch per Effects
+// lane — matters at scale: crawl waves and collection phases fan out
+// over tens of thousands of lanes, and a scratch on each (maps sized to
+// the largest walk it ever ran) held hundreds of megabytes live at
+// scale.10x. Scratch contents never reach the output, so which pooled
+// instance a walk draws is invisible to the determinism contract.
+var walkScratchPool = sync.Pool{New: func() any { return newWalkScratch(nil) }}
+
+// scratch draws a walk scratch from the pool, retargeted at this
+// walker's handle tables. Callers must release it before returning.
+func (w *Walker) scratch() *walkScratch {
+	sc := walkScratchPool.Get().(*walkScratch)
+	sc.tab = w.net.Intern
+	return sc
+}
+
+// release returns a scratch to the pool.
+func (sc *walkScratch) release() {
+	sc.tab = nil
+	walkScratchPool.Put(sc)
 }
 
 // reset clears the per-walk state, keeping capacity.
 func (sc *walkScratch) reset() {
+	clear(sc.ext)
 	clear(sc.idx)
 	sc.flags = sc.flags[:0]
 	sc.sorted = sc.sorted[:0]
@@ -117,10 +151,11 @@ func (sc *walkScratch) add(target ids.Key, p ids.PeerID) {
 	if p.IsZero() {
 		return
 	}
-	if _, ok := sc.idx[p]; ok {
+	h := sc.peerH(p)
+	if _, ok := sc.idx[h]; ok {
 		return
 	}
-	sc.idx[p] = int32(len(sc.flags))
+	sc.idx[h] = int32(len(sc.flags))
 	sc.flags = append(sc.flags, 0)
 	d := p.Key().Xor(target)
 	i := sort.Search(len(sc.sorted), func(i int) bool {
@@ -131,10 +166,10 @@ func (sc *walkScratch) add(target ids.Key, p ids.PeerID) {
 	sc.sorted[i] = p
 }
 
-func (sc *walkScratch) mark(p ids.PeerID, flag uint8) { sc.flags[sc.idx[p]] |= flag }
+func (sc *walkScratch) mark(p ids.PeerID, flag uint8) { sc.flags[sc.idx[sc.peerH(p)]] |= flag }
 
 func (sc *walkScratch) has(p ids.PeerID, flag uint8) bool {
-	return sc.flags[sc.idx[p]]&flag != 0
+	return sc.flags[sc.idx[sc.peerH(p)]]&flag != 0
 }
 
 // nextBatch refills sc.batch with up to alpha unqueried peers among the
@@ -188,7 +223,8 @@ func (w *Walker) GetClosestPeers(seeds []netsim.PeerInfo, target ids.Key) ([]net
 // GetClosestPeersVia is GetClosestPeers with the walk's RPCs issued
 // through an Effects lane (nil = serial/immediate mode).
 func (w *Walker) GetClosestPeersVia(env *netsim.Effects, seeds []netsim.PeerInfo, target ids.Key) ([]netsim.PeerInfo, WalkStats) {
-	sc := w.scratch(env)
+	sc := w.scratch()
+	defer sc.release()
 	stats := w.walk(env, sc, seeds, target)
 	out := make([]netsim.PeerInfo, 0, K)
 	sc.closestIDs(K, func(p ids.PeerID) bool {
@@ -242,7 +278,8 @@ func (w *Walker) Provide(seeds []netsim.PeerInfo, c ids.CID, selfInfo netsim.Pee
 // ProvideVia is Provide with the walk and advertisements issued through
 // an Effects lane.
 func (w *Walker) ProvideVia(env *netsim.Effects, seeds []netsim.PeerInfo, c ids.CID, selfInfo netsim.PeerInfo) ([]ids.PeerID, WalkStats) {
-	sc := w.scratch(env)
+	sc := w.scratch()
+	defer sc.release()
 	stats := w.walk(env, sc, seeds, c.Key())
 	rec := netsim.ProviderRecord{Provider: selfInfo, Received: w.net.Clock.Now()}
 	var accepted []ids.PeerID
@@ -290,7 +327,8 @@ func (w *Walker) FindProvidersVia(env *netsim.Effects, seeds []netsim.PeerInfo, 
 		opts.Max = K
 	}
 	target := c.Key()
-	sc := w.scratch(env)
+	sc := w.scratch()
+	defer sc.release()
 	sc.reset()
 	for _, s := range seeds {
 		sc.add(target, s.ID)
@@ -318,8 +356,8 @@ func (w *Walker) FindProvidersVia(env *netsim.Effects, seeds []netsim.PeerInfo, 
 				continue
 			}
 			for _, r := range recs {
-				if !sc.provSeen[r.Provider.ID] {
-					sc.provSeen[r.Provider.ID] = true
+				if h := sc.peerH(r.Provider.ID); !sc.provSeen[h] {
+					sc.provSeen[h] = true
 					sc.provs = append(sc.provs, r)
 				}
 			}

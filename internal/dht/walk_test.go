@@ -12,7 +12,7 @@ func pi(seed uint64) netsim.PeerInfo {
 }
 
 func freshScratch(target ids.Key, seeds ...uint64) *walkScratch {
-	sc := newWalkScratch()
+	sc := newWalkScratch(nil)
 	sc.reset()
 	for _, s := range seeds {
 		sc.add(target, ids.PeerIDFromSeed(s))
@@ -52,7 +52,7 @@ func TestScratchResetKeepsNothing(t *testing.T) {
 	target := ids.KeyFromUint64(0)
 	sc := freshScratch(target, 1, 2, 3)
 	sc.mark(ids.PeerIDFromSeed(1), flagQueried)
-	sc.provSeen[ids.PeerIDFromSeed(9)] = true
+	sc.provSeen[sc.peerH(ids.PeerIDFromSeed(9))] = true
 	sc.provs = append(sc.provs, netsim.ProviderRecord{})
 	sc.reset()
 	if len(sc.idx) != 0 || len(sc.sorted) != 0 || len(sc.flags) != 0 ||

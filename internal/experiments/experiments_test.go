@@ -202,13 +202,23 @@ func TestCampaignWorkerDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds several observation campaigns")
 	}
-	serialText, serialJSON := renderAll(t, smallObservatoryWorkers(5, 1), 1)
-	pooledText, pooledJSON := renderAll(t, smallObservatoryWorkers(5, 8), 4)
+	serialObs := smallObservatoryWorkers(5, 1)
+	pooledObs := smallObservatoryWorkers(5, 8)
+	serialText, serialJSON := renderAll(t, serialObs, 1)
+	pooledText, pooledJSON := renderAll(t, pooledObs, 4)
 	if serialText != pooledText {
 		t.Error("text output differs between campaign workers=1 and workers=8")
 	}
 	if serialJSON != pooledJSON {
 		t.Error("JSONL output differs between campaign workers=1 and workers=8")
+	}
+	// The interning contract: dense handle assignment happens only at
+	// driver-serial points, so the handle tables — contents *and*
+	// insertion order — must be identical for every pool shape, not just
+	// the rendered output derived from them.
+	sd, pd := serialObs.World.Intern.Digest(), pooledObs.World.Intern.Digest()
+	if sd != pd {
+		t.Errorf("handle-table digest differs between campaign workers=1 (%#x) and workers=8 (%#x)", sd, pd)
 	}
 
 	// The -what-if hydra-dissolution leg: independently built pairs.

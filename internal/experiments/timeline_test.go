@@ -78,6 +78,12 @@ func TestTimelineWorkerDeterminism(t *testing.T) {
 	if serialJSON != pooledJSON {
 		t.Error("timeline JSONL output differs between campaign workers=1 and workers=8")
 	}
+	// Handle tables must be assigned identically under both pool shapes
+	// (interning is driver-serial); InternDigest pins contents and
+	// insertion order beyond what the rendered output can see.
+	if sd, pd := serial.Final.State.InternDigest, pooled.Final.State.InternDigest; sd == 0 || sd != pd {
+		t.Errorf("handle-table digest differs between workers=1 (%#x) and workers=8 (%#x)", sd, pd)
+	}
 	if !strings.Contains(serialJSON, `"timeline":"`+spec+`"`) {
 		t.Error("timeline JSONL rows are not tagged with the canonical schedule spec")
 	}
@@ -126,6 +132,9 @@ func TestTimelineWorkerDeterminism(t *testing.T) {
 	}
 	if resumed.Final.State.Diff(serial.Final.State) != "" {
 		t.Error("resumed run's final snapshot diverges from the straight-through run's")
+	}
+	if rd := resumed.Final.State.InternDigest; rd != serial.Final.State.InternDigest {
+		t.Errorf("checkpoint/resume handle-table digest %#x diverges from straight-through %#x", rd, serial.Final.State.InternDigest)
 	}
 
 	// A tampered checkpoint must fail the replay verification loudly.

@@ -21,13 +21,17 @@ import (
 type Gateway struct {
 	domain      string
 	frontendIPs []netip.Addr
-	nodes       []*node.Node
-	next        int
-	cache       map[ids.CID]bool
-	// poisoned marks cache entries planted by an attacker (the
-	// gateway-stampede scenario): the entry answers like a normal hit,
-	// but the bytes served are not the content the CID names.
-	poisoned map[ids.CID]bool
+	nodes []*node.Node
+	next  int
+	// cache holds the HTTP-side content cache as per-CID flag bits: one
+	// map instead of parallel cached/poisoned sets (half the map
+	// overhead for the common unpoisoned entry). flagPoisoned marks
+	// entries planted by an attacker (the gateway-stampede scenario):
+	// the entry answers like a normal hit, but the bytes served are not
+	// the content the CID names. Keyed by CID, not handle: gateway
+	// fetches run concurrently (one lane per gateway), where interning
+	// is forbidden.
+	cache map[ids.CID]uint8
 	// Requests counts HTTP-side fetches (cache hits included).
 	Requests int64
 	// CacheHits counts fetches answered from the HTTP-side cache.
@@ -35,7 +39,15 @@ type Gateway struct {
 	// PoisonedServed counts cache hits answered from a poisoned entry —
 	// every one is an integrity failure served to a client.
 	PoisonedServed int64
+	// poisonedCount tracks entries carrying flagPoisoned.
+	poisonedCount int
 }
+
+// Cache entry flag bits.
+const (
+	flagCached uint8 = 1 << iota
+	flagPoisoned
+)
 
 // New creates a gateway serving the given domain from the given overlay
 // nodes, with the given HTTP frontend addresses.
@@ -47,7 +59,7 @@ func New(domain string, frontendIPs []netip.Addr, nodes []*node.Node) *Gateway {
 		domain:      domain,
 		frontendIPs: append([]netip.Addr(nil), frontendIPs...),
 		nodes:       nodes,
-		cache:       make(map[ids.CID]bool),
+		cache:       make(map[ids.CID]uint8),
 	}
 }
 
@@ -102,9 +114,9 @@ func (g *Gateway) FetchHTTPNodeVia(env *netsim.Effects, c ids.CID, online func(i
 	if !g.hasOnline(online) {
 		return false, nil // the whole cluster is dark
 	}
-	if g.cache[c] {
+	if f := g.cache[c]; f&flagCached != 0 {
 		g.CacheHits++
-		if g.poisoned[c] {
+		if f&flagPoisoned != 0 {
 			g.PoisonedServed++
 		}
 		return true, nil
@@ -112,7 +124,7 @@ func (g *Gateway) FetchHTTPNodeVia(env *netsim.Effects, c ids.CID, online func(i
 	nd := g.nextOnline(online)
 	res := nd.RetrieveVia(env, c, false)
 	if res.Found {
-		g.cache[c] = true
+		g.cache[c] |= flagCached
 	}
 	return res.Found, nd
 }
@@ -123,15 +135,14 @@ func (g *Gateway) FetchHTTPNodeVia(env *netsim.Effects, c ids.CID, online func(i
 // response for a popular path; the model skips the trick and plants the
 // outcome directly.
 func (g *Gateway) Poison(c ids.CID) {
-	if g.poisoned == nil {
-		g.poisoned = make(map[ids.CID]bool)
+	if g.cache[c]&flagPoisoned == 0 {
+		g.poisonedCount++
 	}
-	g.poisoned[c] = true
-	g.cache[c] = true
+	g.cache[c] = flagCached | flagPoisoned
 }
 
 // PoisonedCIDs reports how many poisoned entries the cache holds.
-func (g *Gateway) PoisonedCIDs() int { return len(g.poisoned) }
+func (g *Gateway) PoisonedCIDs() int { return g.poisonedCount }
 
 // hasOnline reports whether any backend is online, without moving the
 // round-robin cursor (cache hits must not advance it).

@@ -16,6 +16,7 @@ import (
 
 	"tcsb/internal/crawler"
 	"tcsb/internal/ids"
+	"tcsb/internal/intern"
 )
 
 // Graph is a DHT topology snapshot. Node indices are dense ints; the
@@ -31,8 +32,15 @@ type Graph struct {
 // FromSnapshot builds the directed topology graph of one crawl.
 func FromSnapshot(s *crawler.Snapshot) *Graph {
 	g := &Graph{index: make(map[ids.PeerID]int, len(s.Peers))}
+	// Contacts are intern handles; hIndex maps them straight to node
+	// indices so edge resolution never touches the 32-byte IDs.
+	hIndex := make(map[intern.PeerH]int32, len(s.Peers))
 	for _, p := range s.Order {
-		g.index[p] = len(g.peers)
+		i := len(g.peers)
+		g.index[p] = i
+		if h, ok := s.Intern.Peers.Lookup(p); ok {
+			hIndex[h] = int32(i)
+		}
 		g.peers = append(g.peers, p)
 	}
 	n := len(g.peers)
@@ -48,11 +56,11 @@ func FromSnapshot(s *crawler.Snapshot) *Graph {
 		}
 		edges := make([]int32, 0, len(o.Contacts))
 		for _, c := range o.Contacts {
-			j, ok := g.index[c]
-			if !ok || j == i {
+			j, ok := hIndex[c]
+			if !ok || int(j) == i {
 				continue
 			}
-			edges = append(edges, int32(j))
+			edges = append(edges, j)
 			g.inDeg[j]++
 		}
 		g.out[i] = edges

@@ -1,0 +1,83 @@
+package intern
+
+import (
+	"net/netip"
+	"testing"
+
+	"tcsb/internal/ids"
+)
+
+// TestZeroValuesPreInterned pins the handle-0 convention: the zero
+// PeerID, CID and Addr are always handle 0, so "no identifier" has a
+// fixed handle in every world.
+func TestZeroValuesPreInterned(t *testing.T) {
+	tb := NewTables()
+	if tb.Peers.Len() != 1 || tb.CIDs.Len() != 1 || tb.Addrs.Len() != 1 {
+		t.Fatalf("fresh tables should hold exactly the zero values, got %d/%d/%d",
+			tb.Peers.Len(), tb.CIDs.Len(), tb.Addrs.Len())
+	}
+	if h := tb.Peer(ids.PeerID{}); h != 0 {
+		t.Fatalf("zero PeerID interned as %d, want 0", h)
+	}
+	if h := tb.CID(ids.CID{}); h != 0 {
+		t.Fatalf("zero CID interned as %d, want 0", h)
+	}
+	if h := tb.Addr(netip.Addr{}); h != 0 {
+		t.Fatalf("zero Addr interned as %d, want 0", h)
+	}
+}
+
+// TestDenseAssignmentOrder pins that handles are assigned densely in
+// first-seen order and are stable on re-intern.
+func TestDenseAssignmentOrder(t *testing.T) {
+	tb := NewTables()
+	p1 := ids.PeerIDFromSeed(1)
+	p2 := ids.PeerIDFromSeed(2)
+	if h := tb.Peer(p1); h != 1 {
+		t.Fatalf("first peer got handle %d, want 1", h)
+	}
+	if h := tb.Peer(p2); h != 2 {
+		t.Fatalf("second peer got handle %d, want 2", h)
+	}
+	if h := tb.Peer(p1); h != 1 {
+		t.Fatalf("re-intern moved the handle to %d, want 1", h)
+	}
+	if got := tb.Peers.Value(2); got != p2 {
+		t.Fatalf("Value(2) = %v, want %v", got, p2)
+	}
+	if h, ok := tb.Peers.Lookup(p2); !ok || h != 2 {
+		t.Fatalf("Lookup(p2) = %d,%v want 2,true", h, ok)
+	}
+	if _, ok := tb.Peers.Lookup(ids.PeerIDFromSeed(3)); ok {
+		t.Fatal("Lookup of an un-interned peer reported ok")
+	}
+}
+
+// TestDigestOrderSensitive pins that the digest is a function of
+// insertion order, not just contents — the property the determinism
+// suites rely on.
+func TestDigestOrderSensitive(t *testing.T) {
+	a, b, c := NewTables(), NewTables(), NewTables()
+	p1, p2 := ids.PeerIDFromSeed(1), ids.PeerIDFromSeed(2)
+
+	a.Peer(p1)
+	a.Peer(p2)
+	b.Peer(p1)
+	b.Peer(p2)
+	c.Peer(p2)
+	c.Peer(p1)
+
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical construction histories digest differently")
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different insertion orders digest equal")
+	}
+
+	// Addresses of both families fold in unambiguously.
+	a.Addr(netip.MustParseAddr("10.0.0.1"))
+	b.Addr(netip.MustParseAddr("::ffff:10.0.0.1"))
+	if a.Digest() == b.Digest() {
+		t.Fatal("v4 and v4-in-v6 forms digest equal")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"net/netip"
 
 	"tcsb/internal/ids"
+	"tcsb/internal/intern"
 	"tcsb/internal/maddr"
 )
 
@@ -175,7 +176,14 @@ type hostRecord struct {
 // replays them in lane order, keeping every run (and every worker
 // count) byte-identical. See phase.go.
 type Network struct {
-	Clock    Clock
+	Clock Clock
+	// Intern holds the world's dense identifier handle tables. The
+	// network owns them because it is the one component every other
+	// component already reaches: peers and their addresses intern at
+	// Attach/SetAddrs (driver-serial), CIDs at the scenario's mint
+	// points, stray identifiers lazily at trace.Accum.Observe (also
+	// serial). Parallel phases only read. See package intern.
+	Intern   *intern.Tables
 	hosts    map[ids.PeerID]*hostRecord
 	msgCount [msgTypeCount]int64
 	// lanePool holds reusable Effects lanes for Fanout phases (driver-
@@ -198,7 +206,11 @@ type Network struct {
 
 // New creates an empty network with the identity link profile.
 func New() *Network {
-	return &Network{hosts: make(map[ids.PeerID]*hostRecord), linkZero: true}
+	return &Network{
+		Intern:   intern.NewTables(),
+		hosts:    make(map[ids.PeerID]*hostRecord),
+		linkZero: true,
+	}
 }
 
 // HostConfig describes a peer being attached to the network.
@@ -228,6 +240,11 @@ type HostConfig struct {
 // Attaching an already-known ID replaces its record, which is how nodes
 // re-join after regenerating state.
 func (n *Network) Attach(id ids.PeerID, h Handler, cfg HostConfig) {
+	n.Intern.Peer(id)
+	n.internAddrs(cfg.Addrs)
+	if cfg.SourceIP.IsValid() {
+		n.Intern.Addr(cfg.SourceIP)
+	}
 	n.hosts[id] = &hostRecord{
 		handler:          h,
 		addrs:            exactCopy(cfg.Addrs),
@@ -271,7 +288,18 @@ func (n *Network) SetOnline(id ids.PeerID, online bool) {
 // previous slice is left intact for any holder that aliased it.
 func (n *Network) SetAddrs(id ids.PeerID, addrs []maddr.Addr) {
 	if h, ok := n.hosts[id]; ok {
+		n.internAddrs(addrs)
 		h.addrs = exactCopy(addrs)
+	}
+}
+
+// internAddrs interns every valid IP of an address list (driver-serial,
+// called from the registry's mutating methods only).
+func (n *Network) internAddrs(addrs []maddr.Addr) {
+	for _, a := range addrs {
+		if a.IP.IsValid() {
+			n.Intern.Addr(a.IP)
+		}
 	}
 }
 

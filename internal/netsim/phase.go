@@ -1,6 +1,10 @@
 package netsim
 
-import "sync"
+import (
+	"sync"
+
+	"tcsb/internal/ids"
+)
 
 // Lane is per-lane state owned by a shared root object (e.g. a trace
 // pipeline): during a concurrent phase each worker writes to its own
@@ -36,7 +40,7 @@ type laneSlot struct {
 // single-threaded drivers, tests) use nil and behave exactly as the
 // pre-concurrency simulator did.
 type Effects struct {
-	deferred []func()
+	deferred []deferredOp
 	counts   [msgTypeCount]int64
 	lanes    []laneSlot
 
@@ -52,14 +56,55 @@ type Effects struct {
 	linkDropped   int64
 	linkDelivered int64
 	linkElapsedUS int64
+}
 
-	// Scratch is lane-scoped reusable memory for whatever engine is
-	// running on the lane (the DHT walker keeps its candidate-set
-	// buffers here, cleared per walk instead of reallocated). Exactly
-	// one goroutine uses a lane at a time, so no synchronization is
-	// needed; an engine finding someone else's type here simply
-	// replaces it.
-	Scratch any
+// ContactLearner consumes a deferred routing-table learn. Handlers
+// record learns through DeferLearn instead of a closure: the arguments
+// go into the flat op queue, so the per-RPC heap allocation the closure
+// capture cost is gone (the learns were the single largest allocation
+// source of a campaign).
+type ContactLearner interface {
+	LearnContact(from ids.PeerID)
+}
+
+// ProviderSink consumes a deferred provider-record store, the second of
+// the two per-RPC side effects hot enough to earn a closure-free path.
+type ProviderSink interface {
+	PutProvider(c ids.CID, rec ProviderRecord)
+}
+
+// LookupEnqueuer consumes a deferred proactive-lookup enqueue (the
+// Hydra cache-miss path).
+type LookupEnqueuer interface {
+	EnqueueLookup(c ids.CID)
+}
+
+// deferredOp is one entry of the merge-time replay queue: either a
+// generic closure (fn) or one of the typed fast paths (exactly one of
+// fn/learner/sink/enq is set). All ops live in one queue so replay
+// order is exactly emission order, closure or not.
+type deferredOp struct {
+	fn      func()
+	learner ContactLearner
+	sink    ProviderSink
+	enq     LookupEnqueuer
+	from    ids.PeerID
+	cid     ids.CID
+	rec     ProviderRecord
+}
+
+// apply replays one op.
+func (op *deferredOp) apply() {
+	switch {
+	case op.fn != nil:
+		op.fn()
+	case op.learner != nil:
+		op.learner.LearnContact(op.from)
+	case op.sink != nil:
+		op.sink.PutProvider(op.cid, op.rec)
+	default:
+		op.enq.EnqueueLookup(op.cid)
+	}
 }
 
 // Defer records a side effect to apply at merge time, or applies it
@@ -69,7 +114,37 @@ func (e *Effects) Defer(f func()) {
 		f()
 		return
 	}
-	e.deferred = append(e.deferred, f)
+	e.deferred = append(e.deferred, deferredOp{fn: f})
+}
+
+// DeferLearn is Defer for a routing-table learn, allocation-free in
+// lane mode.
+func (e *Effects) DeferLearn(l ContactLearner, from ids.PeerID) {
+	if e == nil {
+		l.LearnContact(from)
+		return
+	}
+	e.deferred = append(e.deferred, deferredOp{learner: l, from: from})
+}
+
+// DeferProviderPut is Defer for a provider-record store, allocation-free
+// in lane mode.
+func (e *Effects) DeferProviderPut(s ProviderSink, c ids.CID, rec ProviderRecord) {
+	if e == nil {
+		s.PutProvider(c, rec)
+		return
+	}
+	e.deferred = append(e.deferred, deferredOp{sink: s, cid: c, rec: rec})
+}
+
+// DeferLookup is Defer for a proactive-lookup enqueue, allocation-free
+// in lane mode.
+func (e *Effects) DeferLookup(q LookupEnqueuer, c ids.CID) {
+	if e == nil {
+		q.EnqueueLookup(c)
+		return
+	}
+	e.deferred = append(e.deferred, deferredOp{enq: q, cid: c})
 }
 
 // Pending returns the number of buffered side effects.
@@ -117,8 +192,8 @@ func (n *Network) Apply(envs ...*Effects) {
 		for t, c := range e.counts {
 			n.msgCount[t] += c
 		}
-		for _, f := range e.deferred {
-			f()
+		for i := range e.deferred {
+			e.deferred[i].apply()
 		}
 		for i := range e.lanes {
 			e.lanes[i].root.MergeLane(e.lanes[i].local)
@@ -128,6 +203,7 @@ func (n *Network) Apply(envs ...*Effects) {
 		n.linkDelivered += e.linkDelivered
 		n.linkElapsedUS += e.linkElapsedUS
 		e.linkIssued, e.linkDropped, e.linkDelivered, e.linkElapsedUS = 0, 0, 0, 0
+		clear(e.deferred) // drop closure/addrs references for the GC
 		e.deferred = e.deferred[:0]
 		e.counts = [msgTypeCount]int64{}
 	}
@@ -141,9 +217,9 @@ func (n *Network) Apply(envs ...*Effects) {
 // handlers route their writes through the lane, and phase code may only
 // read shared state.
 //
-// Lane values (and their scratch and lane-local buffers) are pooled on
-// the Network and reused across phases; Fanout is a driver-side call and
-// is never invoked concurrently for one Network.
+// Lane values are pooled on the Network and reused across phases;
+// Fanout is a driver-side call and is never invoked concurrently for
+// one Network.
 func (n *Network) Fanout(workers int, tasks []func(env *Effects)) {
 	if len(tasks) == 0 {
 		return
@@ -160,7 +236,25 @@ func (n *Network) Fanout(workers int, tasks []func(env *Effects)) {
 	envs := n.lanePool[:len(tasks)]
 	ParallelFor(workers, len(tasks), func(i int) { tasks[i](envs[i]) })
 	n.Apply(envs...)
+	// Only the first warmLanes lanes keep their buffer capacity between
+	// phases. Crawl waves and collection phases fan out over one lane
+	// per task — tens of thousands at scale — and retaining a deferred
+	// queue plus lane-local trace buffers on each held live memory
+	// proportional to the largest fan-out ever seen. Lane *identity*
+	// (laneSalt, latSeq — the impairment draw streams) survives the
+	// trim, so outputs are untouched; high-index lanes merely reallocate
+	// their buffers on next use. The threshold is a constant, never
+	// derived from `workers`, keeping byte-identity across worker
+	// counts.
+	for i := warmLanes; i < len(envs); i++ {
+		envs[i].deferred = nil
+		envs[i].lanes = nil
+	}
 }
+
+// warmLanes is the number of pooled lanes that keep buffer capacity
+// across phases (tick phases use one lane per shard, well below this).
+const warmLanes = 64
 
 // ParallelFor runs f(0..n-1) on at most `workers` goroutines (in the
 // calling goroutine when workers <= 1). It is the one worker-pool

@@ -75,7 +75,7 @@ func New(id ids.PeerID, net *netsim.Network, cfg Config) *Node {
 		rt:           kademlia.New(id.Key()),
 		walker:       dht.NewWalker(net, id),
 		cfg:          cfg,
-		providers:    NewProviderStore(ttl),
+		providers:    NewProviderStoreWith(ttl, net.Intern),
 		blocks:       make(map[ids.CID]bool),
 		bitswapPeers: make(map[ids.PeerID]bool),
 	}
@@ -129,8 +129,12 @@ func (n *Node) HandleAddProvider(env *netsim.Effects, from ids.PeerID, c ids.CID
 	}
 	n.maybeLearn(env, from)
 	rec.Received = n.net.Clock.Now()
-	env.Defer(func() { n.providers.Put(c, rec) })
+	env.DeferProviderPut(n, c, rec)
 }
+
+// PutProvider applies a deferred provider-record store at lane merge
+// (netsim.ProviderSink).
+func (n *Node) PutProvider(c ids.CID, rec netsim.ProviderRecord) { n.providers.Put(c, rec) }
 
 // HandleBitswapWant answers a Bitswap WANT: whether this node has the
 // block. A positive answer counts as serving the block (the requester
@@ -153,12 +157,16 @@ func (n *Node) maybeLearn(env *netsim.Effects, from ids.PeerID) {
 	if !n.net.Reachable(from) {
 		return
 	}
-	env.Defer(func() {
-		n.rt.AddReplacingStale(
-			kademlia.Contact{Peer: from, LastSeen: n.net.Clock.Now()},
-			n.net.Clock.Now()-6*3600, // evict contacts silent for >6h
-		)
-	})
+	env.DeferLearn(n, from)
+}
+
+// LearnContact applies a deferred routing-table learn at lane merge
+// (netsim.ContactLearner).
+func (n *Node) LearnContact(from ids.PeerID) {
+	n.rt.AddReplacingStale(
+		kademlia.Contact{Peer: from, LastSeen: n.net.Clock.Now()},
+		n.net.Clock.Now()-6*3600, // evict contacts silent for >6h
+	)
 }
 
 // --- DHT operations (client side) ---

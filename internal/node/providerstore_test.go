@@ -73,6 +73,62 @@ func TestProviderStoreExpiryAtDayBoundaries(t *testing.T) {
 	}
 }
 
+// TestProviderStoreExpireCostIsOutputSensitive pins the complexity of
+// the day-bucketed sweep across a 10-day run: the entries Expire visits
+// (ExpireTouched) are bounded by the put/refresh volume — every Put
+// adds exactly one bucket entry and every entry is visited at most
+// twice (once retained on its expiry day, once pruned) — and never by
+// the live population. The v1 store walked every live record every day;
+// with a large stable population and a trickle of expiring records,
+// that cost was population × days.
+func TestProviderStoreExpireCostIsOutputSensitive(t *testing.T) {
+	const (
+		hour = netsim.Time(3600)
+		day  = 24 * hour
+		ttl  = 36 * hour // the scenario's provider TTL
+	)
+	s := NewProviderStore(ttl)
+
+	// A large stable population: 20k records refreshed every day (so
+	// they never expire), plus 10 records per day that are published
+	// once and left to expire.
+	const stable = 20000
+	const churnPerDay = 10
+	stableCID := func(i int) ids.CID { return ids.CIDFromSeed(uint64(i)) }
+	prov := netsim.PeerInfo{ID: ids.PeerIDFromSeed(1)}
+
+	puts := 0
+	for d := 0; d < 10; d++ {
+		now := netsim.Time(d) * day
+		for i := 0; i < stable; i++ {
+			s.Put(stableCID(i), netsim.ProviderRecord{Provider: prov, Received: now})
+			puts++
+		}
+		for i := 0; i < churnPerDay; i++ {
+			c := ids.CIDFromSeed(uint64(1<<32 + d*churnPerDay + i))
+			s.Put(c, netsim.ProviderRecord{Provider: prov, Received: now})
+			puts++
+		}
+		s.Expire(now + 23*hour) // the scenario's daily sweep
+	}
+
+	touched := s.ExpireTouched()
+	// Each bucket entry can be visited at most twice; anything beyond
+	// 2×puts means the sweep is rescanning live records.
+	if max := int64(2 * puts); touched > max {
+		t.Fatalf("Expire visited %d entries for %d puts (max %d): sweep cost is population-bound, not expiry-bound", touched, puts, max)
+	}
+	// Sanity: the sweep actually pruned the churned records older than
+	// the TTL, and the stable population survived.
+	st := s.Stats()
+	if st.Stored < stable {
+		t.Fatalf("stable population shrank: %+v", st)
+	}
+	if st.Pruned == 0 {
+		t.Fatal("no records pruned over 10 days despite churn")
+	}
+}
+
 // TestProviderStoreStatsRefresh pins the ledger semantics across
 // re-advertisement: a refresh replaces in place (no new creation), and
 // a record re-published after pruning counts as a fresh creation.

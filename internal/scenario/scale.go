@@ -27,6 +27,7 @@ var scaleFamily = []ScalePreset{
 	{Name: "scale.2x", Factor: 2, Description: "2x population and traffic (~1/6 of the live network)"},
 	{Name: "scale.4x", Factor: 4, Description: "4x population and traffic (~1/3 of the live network)"},
 	{Name: "scale.10x", Factor: 10, Description: "10x population and traffic (~live-network scale)"},
+	{Name: "scale.25x", Factor: 25, Description: "25x population and traffic (~2.5x the live network; needs the columnar/interned state to fit in memory)"},
 }
 
 // ScalePresets returns the scale.* scenario family in ascending factor

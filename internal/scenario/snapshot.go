@@ -53,6 +53,10 @@ type Snapshot struct {
 	// samples the timing sink has folded across all phases.
 	LinkIssued, LinkDropped, LinkDelivered int64
 	TimingSamples                          uint64
+	// InternDigest fingerprints the world's handle tables (contents in
+	// insertion order), pinning dense handle assignment across worker
+	// counts and checkpoint resume even though handles never reach output.
+	InternDigest uint64
 	// Digest is the FNV-1a fingerprint of the canonical state walk.
 	Digest uint64
 }
@@ -82,6 +86,7 @@ var worldSnapshotFields = map[string]string{
 	"attackTargets": "targeted CID list (set once per attack launch)",
 	"attackers":     "minted sybil identities in creation order",
 	"Timing":        "per-phase sketch count/sum/min/max + network link counters",
+	"Intern":        "handle-table digest (contents in insertion order)",
 }
 
 // worldSnapshotExcluded lists every World field the digest deliberately
@@ -278,6 +283,12 @@ func (w *World) Snapshot() Snapshot {
 		s.TimingSamples += sk.Count()
 	}
 
+	// Handle tables: derived state (never rendered), pinned through the
+	// separate InternDigest field — Diff compares it on every resume
+	// verification, but it stays out of the rendered Digest so timeline
+	// fingerprints remain comparable across interning-only changes.
+	s.InternDigest = w.Intern.Digest()
+
 	s.Digest = h.Sum64()
 	return s
 }
@@ -317,6 +328,9 @@ func (s Snapshot) Diff(o Snapshot) string {
 		if c.a != c.b {
 			return fmt.Sprintf("%s: %d != %d", c.name, c.a, c.b)
 		}
+	}
+	if s.InternDigest != o.InternDigest {
+		return fmt.Sprintf("intern-digest: %#x != %#x (handle assignment order diverged)", s.InternDigest, o.InternDigest)
 	}
 	if s.Digest != o.Digest {
 		return fmt.Sprintf("digest: %#x != %#x (counters agree; deep state diverged)", s.Digest, o.Digest)

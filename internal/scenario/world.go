@@ -10,6 +10,7 @@ import (
 	"tcsb/internal/gateway"
 	"tcsb/internal/hydra"
 	"tcsb/internal/ids"
+	"tcsb/internal/intern"
 	"tcsb/internal/ipdb"
 	"tcsb/internal/kademlia"
 	"tcsb/internal/maddr"
@@ -79,7 +80,13 @@ type World struct {
 	// (1 = fully serial execution; results are identical either way).
 	Workers int
 	Net     *netsim.Network
-	DB      *ipdb.DB
+	// Intern aliases Net.Intern: the world's dense identifier handle
+	// tables (see package intern). Handles are derived state — excluded
+	// from Config.Digest and never rendered — but the tables' canonical
+	// contents fold into Snapshot so worker-determinism and resume
+	// verification cover handle assignment.
+	Intern *intern.Tables
+	DB     *ipdb.DB
 	Alloc   *ipdb.Allocator
 	DNS     *dnssim.Universe
 
@@ -146,6 +153,7 @@ func NewWorld(cfg Config) *World {
 		DNS:     dnssim.NewUniverse(),
 		Actors:  make(map[ids.PeerID]*Actor),
 	}
+	w.Intern = w.Net.Intern
 	w.Alloc = ipdb.NewAllocator(w.DB, w.Rng)
 	w.peerSeq = uint64(cfg.Seed)<<32 + 1
 	w.installLinkModel()
@@ -198,7 +206,9 @@ func (w *World) nextPeerID() ids.PeerID {
 
 func (w *World) nextCID() ids.CID {
 	w.cidSeq++
-	return ids.CIDFromSeed(uint64(w.Cfg.Seed)<<32 + w.cidSeq)
+	c := ids.CIDFromSeed(uint64(w.Cfg.Seed)<<32 + w.cidSeq)
+	w.Intern.CID(c) // CID mints are driver-serial: intern at the source
+	return c
 }
 
 // pickWeighted draws a key from a weight map deterministically.
@@ -395,6 +405,7 @@ func (w *World) buildMonitor() {
 	w.Monitor = monitor.NewWithPipeline(id, w.Net, trace.NewPipeline(trace.Options{
 		Retain:  w.Cfg.RetainTrace,
 		TagPeer: w.IsHydraHead,
+		Intern:  w.Net.Intern,
 	}))
 	ip := w.Alloc.ResidentialIP("DE") // the paper's vantage point: Germany
 	w.Net.Attach(id, w.Monitor, netsim.HostConfig{
@@ -441,6 +452,7 @@ func (w *World) buildHydra() {
 		Pipe: trace.NewPipeline(trace.Options{
 			Retain:  w.Cfg.RetainTrace,
 			TagPeer: w.IsHydraHead,
+			Intern:  w.Net.Intern,
 			Keep: func(e trace.Event) bool {
 				return e.Peer != crawlerID && e.Peer != collectorID
 			},

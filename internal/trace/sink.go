@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"tcsb/internal/ids"
+	"tcsb/internal/intern"
 	"tcsb/internal/netsim"
 )
 
@@ -53,6 +54,11 @@ type Options struct {
 	// points nothing ever reads (the Protocol Labs production Hydras'
 	// logs), where even bounded accumulation is waste.
 	Discard bool
+	// Intern supplies the world's shared handle tables for the Accum's
+	// dense columnar storage. nil gives the accumulator private tables
+	// (standalone/test pipelines); worlds pass netsim.Network.Intern so
+	// handles are consistent across every component.
+	Intern *intern.Tables
 }
 
 // Pipeline is the observation endpoint a monitoring vantage point
@@ -86,7 +92,7 @@ func NewPipeline(opts Options) *Pipeline {
 	if opts.Retain {
 		p.log = &Log{}
 	}
-	p.acc = newAccum(opts.TagPeer)
+	p.acc = newAccum(opts.TagPeer, opts.Intern)
 	return p
 }
 
@@ -232,58 +238,82 @@ func (d *daySet) has(day int64) bool {
 //
 // Memory is bounded by the number of distinct identifiers (peers, IPs,
 // CIDs, days), not by traffic volume — the refactoring that makes
-// 10x-scale campaigns memory-feasible.
+// 10x-scale campaigns memory-feasible. Storage is columnar: every
+// per-identifier ledger is a dense slice indexed by the world's intern
+// handle (4-byte index, no per-entry key), which at scale.10x is what
+// keeps the vantage-point statistics inside the RSS budget.
+//
+// Observe is always serial (direct call or lane-merge replay), so lazy
+// interning of identifiers first seen at a vantage point — gateway
+// probe CIDs, attack sybils — is within the tables' write contract.
 type Accum struct {
 	tagPeer func(ids.PeerID) bool
+	tab     *intern.Tables
 
 	n     int64
 	class [classCount]int64
 
-	byPeer map[ids.PeerID]int64
-	// byIP counts valid-IP events per class; noIP counts the rest.
-	byIP [classCount]map[netip.Addr]int64
+	// byPeer counts events per sender handle (including the zero peer,
+	// handle 0); distinctPeers tracks the slots that went non-zero.
+	byPeer        []int64
+	distinctPeers int
+	// byIP counts valid-IP events per class per address handle; noIP
+	// counts the rest. Handle 0 (the invalid Addr) stays zero.
+	byIP [classCount][]int64
 	noIP [classCount]int64
 	// tagByIP / tagNoIP are the tagged-sender sub-counts of byIP / noIP.
-	tagByIP [classCount]map[netip.Addr]int64
+	tagByIP [classCount][]int64
 	tagNoIP [classCount]int64
 
-	cidDays  map[ids.CID]daySet
-	ipDays   map[netip.Addr]daySet
-	peerDays map[ids.PeerID]daySet
+	cidDays  []daySet // by CIDH, non-zero CIDs only
+	ipDays   []daySet // by AddrH, valid IPs only
+	peerDays []daySet // by PeerH, non-zero peers only
 	days     map[int64]struct{}
 }
 
-func newAccum(tagPeer func(ids.PeerID) bool) *Accum {
-	a := &Accum{
-		tagPeer:  tagPeer,
-		byPeer:   make(map[ids.PeerID]int64),
-		cidDays:  make(map[ids.CID]daySet),
-		ipDays:   make(map[netip.Addr]daySet),
-		peerDays: make(map[ids.PeerID]daySet),
-		days:     make(map[int64]struct{}),
+func newAccum(tagPeer func(ids.PeerID) bool, tab *intern.Tables) *Accum {
+	if tab == nil {
+		tab = intern.NewTables()
 	}
-	for c := 0; c < int(classCount); c++ {
-		a.byIP[c] = make(map[netip.Addr]int64)
-		a.tagByIP[c] = make(map[netip.Addr]int64)
+	return &Accum{
+		tagPeer: tagPeer,
+		tab:     tab,
+		days:    make(map[int64]struct{}),
 	}
-	return a
 }
 
-// NewAccum creates a standalone accumulator (no tagged senders). Most
-// callers obtain one through a Pipeline instead.
-func NewAccum() *Accum { return newAccum(nil) }
+// NewAccum creates a standalone accumulator (no tagged senders, private
+// handle tables). Most callers obtain one through a Pipeline instead.
+func NewAccum() *Accum { return newAccum(nil, nil) }
 
-// Observe folds one event into the accumulator (Sink).
+// grown returns s extended (zero-filled) to make handle h addressable.
+func grown[T any, H ~uint32](s []T, h H) []T {
+	if int(h) < len(s) {
+		return s
+	}
+	if int(h) < cap(s) {
+		return s[:int(h)+1]
+	}
+	ns := make([]T, int(h)+1, (int(h)+1)*3/2)
+	copy(ns, s)
+	return ns
+}
+
+// Observe folds one event into the accumulator (Sink; serial-only).
 func (a *Accum) Observe(e Event) {
 	a.n++
 	cl := e.Class()
 	a.class[cl]++
 
 	tagged := a.tagPeer != nil && a.tagPeer(e.Peer)
+	var ih intern.AddrH
 	if e.IP.IsValid() {
-		a.byIP[cl][e.IP]++
+		ih = a.tab.Addr(e.IP)
+		a.byIP[cl] = grown(a.byIP[cl], ih)
+		a.byIP[cl][ih]++
 		if tagged {
-			a.tagByIP[cl][e.IP]++
+			a.tagByIP[cl] = grown(a.tagByIP[cl], ih)
+			a.tagByIP[cl][ih]++
 		}
 	} else {
 		a.noIP[cl]++
@@ -291,24 +321,27 @@ func (a *Accum) Observe(e Event) {
 			a.tagNoIP[cl]++
 		}
 	}
-	a.byPeer[e.Peer]++
+	ph := a.tab.Peer(e.Peer)
+	a.byPeer = grown(a.byPeer, ph)
+	if a.byPeer[ph] == 0 {
+		a.distinctPeers++
+	}
+	a.byPeer[ph]++
 
 	day := e.Time / SecondsPerDay
 	a.days[day] = struct{}{}
 	if !e.CID.IsZero() {
-		ds := a.cidDays[e.CID]
-		ds.add(day)
-		a.cidDays[e.CID] = ds
+		ch := a.tab.CID(e.CID)
+		a.cidDays = grown(a.cidDays, ch)
+		a.cidDays[ch].add(day)
 	}
 	if e.IP.IsValid() {
-		ds := a.ipDays[e.IP]
-		ds.add(day)
-		a.ipDays[e.IP] = ds
+		a.ipDays = grown(a.ipDays, ih)
+		a.ipDays[ih].add(day)
 	}
 	if !e.Peer.IsZero() {
-		ds := a.peerDays[e.Peer]
-		ds.add(day)
-		a.peerDays[e.Peer] = ds
+		a.peerDays = grown(a.peerDays, ph)
+		a.peerDays[ph].add(day)
 	}
 }
 
@@ -327,12 +360,12 @@ func (a *Accum) ClassCount(cl Class) int64 {
 
 // SeenPeer reports whether any folded event came from p.
 func (a *Accum) SeenPeer(p ids.PeerID) bool {
-	_, ok := a.byPeer[p]
-	return ok
+	h, ok := a.tab.Peers.Lookup(p)
+	return ok && int(h) < len(a.byPeer) && a.byPeer[h] > 0
 }
 
 // DistinctPeers returns the number of distinct senders observed.
-func (a *Accum) DistinctPeers() int { return len(a.byPeer) }
+func (a *Accum) DistinctPeers() int { return a.distinctPeers }
 
 // Mix returns the per-class traffic shares, exactly as Log.Mix would
 // over the same events: only classes that occurred appear as keys.
@@ -349,28 +382,54 @@ func (a *Accum) Mix() map[Class]float64 {
 	return out
 }
 
-// ActivityByPeer returns a copy of the per-peer message counts.
-func (a *Accum) ActivityByPeer() map[ids.PeerID]int64 {
-	out := make(map[ids.PeerID]int64, len(a.byPeer))
-	for p, n := range a.byPeer {
-		out[p] = n
+// EachPeerActivity streams the per-peer message counts without
+// materializing a map — the render-path accessor (the map-returning
+// ActivityByPeer copies the whole ledger per call).
+func (a *Accum) EachPeerActivity(yield func(ids.PeerID, int64)) {
+	for h, n := range a.byPeer {
+		if n > 0 {
+			yield(a.tab.Peers.Value(intern.PeerH(h)), n)
+		}
 	}
+}
+
+// EachIPActivity streams per-IP message counts summed over all classes
+// (valid-IP events only), without materializing a map.
+func (a *Accum) EachIPActivity(yield func(netip.Addr, int64)) {
+	size := 0
+	for c := 0; c < int(classCount); c++ {
+		if len(a.byIP[c]) > size {
+			size = len(a.byIP[c])
+		}
+	}
+	for h := 0; h < size; h++ {
+		var n int64
+		for c := 0; c < int(classCount); c++ {
+			if h < len(a.byIP[c]) {
+				n += a.byIP[c][h]
+			}
+		}
+		if n > 0 {
+			yield(a.tab.Addrs.Value(intern.AddrH(h)), n)
+		}
+	}
+}
+
+// ActivityByPeer returns a copy of the per-peer message counts.
+// Prefer EachPeerActivity on render paths — this materializes the
+// whole ledger per call.
+func (a *Accum) ActivityByPeer() map[ids.PeerID]int64 {
+	out := make(map[ids.PeerID]int64, a.distinctPeers)
+	a.EachPeerActivity(func(p ids.PeerID, n int64) { out[p] = n })
 	return out
 }
 
 // ActivityByIP returns per-IP message counts over all classes
-// (valid-IP events only, like Log.ActivityByIP).
+// (valid-IP events only, like Log.ActivityByIP). Prefer EachIPActivity
+// on render paths.
 func (a *Accum) ActivityByIP() map[netip.Addr]int64 {
-	size := 0
-	for c := 0; c < int(classCount); c++ {
-		size += len(a.byIP[c])
-	}
-	out := make(map[netip.Addr]int64, size)
-	for c := 0; c < int(classCount); c++ {
-		for ip, n := range a.byIP[c] {
-			out[ip] += n
-		}
-	}
+	out := make(map[netip.Addr]int64)
+	a.EachIPActivity(func(ip netip.Addr, n int64) { out[ip] = n })
 	return out
 }
 
@@ -396,8 +455,10 @@ func (a *Accum) ClassGroupShareByIP(cl Class, attr func(netip.Addr) string) map[
 }
 
 func (a *Accum) accumulateClassShare(cl Class, attr func(netip.Addr) string, counts map[string]float64) {
-	for ip, n := range a.byIP[cl] {
-		counts[attr(ip)] += float64(n)
+	for h, n := range a.byIP[cl] {
+		if n > 0 {
+			counts[attr(a.tab.Addrs.Value(intern.AddrH(h)))] += float64(n)
+		}
 	}
 	if n := a.noIP[cl]; n > 0 {
 		counts[attr(netip.Addr{})] += float64(n)
@@ -409,9 +470,11 @@ func (a *Accum) accumulateClassShare(cl Class, attr func(netip.Addr) string, cou
 func (a *Accum) UniqueIPShare(attr func(netip.Addr) string) map[string]float64 {
 	counts := make(map[string]float64)
 	total := 0.0
-	for ip := range a.ipDays {
-		counts[attr(ip)]++
-		total++
+	for h := range a.ipDays {
+		if a.ipDays[h].count() > 0 {
+			counts[attr(a.tab.Addrs.Value(intern.AddrH(h)))]++
+			total++
+		}
 	}
 	return divideBy(counts, total)
 }
@@ -421,9 +484,11 @@ func (a *Accum) UniqueIPShare(attr func(netip.Addr) string) map[string]float64 {
 func (a *Accum) ClassUniqueIPShare(cl Class, attr func(netip.Addr) string) map[string]float64 {
 	counts := make(map[string]float64)
 	total := 0.0
-	for ip := range a.byIP[cl] {
-		counts[attr(ip)]++
-		total++
+	for h, n := range a.byIP[cl] {
+		if n > 0 {
+			counts[attr(a.tab.Addrs.Value(intern.AddrH(h)))]++
+			total++
+		}
 	}
 	return divideBy(counts, total)
 }
@@ -451,11 +516,18 @@ func (a *Accum) ClassTaggedGroupShareByIP(cl Class, tagLabel string, attr func(n
 
 func (a *Accum) accumulateTaggedShare(cl Class, tagLabel string, attr func(netip.Addr) string, counts map[string]float64) {
 	var tagged int64
-	for ip, n := range a.byIP[cl] {
-		t := a.tagByIP[cl][ip]
+	tag := a.tagByIP[cl]
+	for h, n := range a.byIP[cl] {
+		if n == 0 {
+			continue
+		}
+		var t int64
+		if h < len(tag) {
+			t = tag[h]
+		}
 		tagged += t
 		if rest := n - t; rest > 0 {
-			counts[attr(ip)] += float64(rest)
+			counts[attr(a.tab.Addrs.Value(intern.AddrH(h)))] += float64(rest)
 		}
 	}
 	tagged += a.tagNoIP[cl]
@@ -477,10 +549,12 @@ func (a *Accum) DaysSeenByIP() map[int]int { return daysHist(a.ipDays) }
 // DaysSeenByPeer returns the days-seen histogram over sender peer IDs.
 func (a *Accum) DaysSeenByPeer() map[int]int { return daysHist(a.peerDays) }
 
-func daysHist[K comparable](m map[K]daySet) map[int]int {
+func daysHist(sets []daySet) map[int]int {
 	hist := make(map[int]int)
-	for _, ds := range m {
-		hist[ds.count()]++
+	for i := range sets {
+		if n := sets[i].count(); n > 0 {
+			hist[n]++
+		}
 	}
 	return hist
 }
@@ -499,9 +573,9 @@ func (a *Accum) Days() []int64 {
 // virtual day, sorted by key — the input of the daily-sample pipeline.
 func (a *Accum) CIDsOnDay(day int64) []ids.CID {
 	var out []ids.CID
-	for c, ds := range a.cidDays {
-		if ds.has(day) {
-			out = append(out, c)
+	for h := range a.cidDays {
+		if a.cidDays[h].has(day) {
+			out = append(out, a.tab.CIDs.Value(intern.CIDH(h)))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key().Cmp(out[j].Key()) < 0 })

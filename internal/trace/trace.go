@@ -249,9 +249,5 @@ func (l *Log) UniqueIPShare(attr func(netip.Addr) string) map[string]float64 {
 // active `topFraction` of entities under the given activity map — the
 // "top 5% of peer IDs generate 97% of traffic" readings of Figs. 10/11.
 func TopShare[K comparable](activity map[K]int64, topFraction float64) float64 {
-	weights := make([]float64, 0, len(activity))
-	for _, v := range activity {
-		weights = append(weights, float64(v))
-	}
-	return paretoShare(weights, topFraction)
+	return TopShareSeq(mapSeq(activity), topFraction)
 }
