@@ -17,6 +17,9 @@
 //	                 [-epochs N] [-only timeline.population] [...]
 //	tcsb-experiments -timeline timeline.dissolution [-epochs N] [...]
 //	tcsb-experiments -timeline timeline.siege [...]
+//	tcsb-experiments [...] -archive-dir runs/
+//	tcsb-experiments -analyze -archive-dir runs/
+//	                 [-expectations expectations.json] [-json]
 //
 // -workers drives the observation campaign (world ticks, crawls,
 // provider-record collection) on a bounded goroutine pool; -parallel
@@ -54,6 +57,12 @@
 // what makes scale.4x and beyond routine; -retain-trace additionally
 // keeps the raw event logs (gigabytes at default scale — only for
 // external tooling that needs events).
+// -archive-dir persists each campaign run — the JSONL byte stream plus
+// a manifest of the canonical request — into a run archive;
+// -analyze is the analyze-only mode: it runs no simulation, ingests the
+// archive, groups runs by request shape, and reports cross-run deltas,
+// epoch drift slopes and alerts against the -expectations rule file
+// (exit 1 when alerts fire; see internal/analyze).
 // Output on stdout is a deterministic function of the flags and seed:
 // for the same selection it is byte-identical for every -workers and
 // -parallel value (timings and progress go to stderr). The same
@@ -62,12 +71,15 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 
+	"tcsb/internal/analyze"
 	"tcsb/internal/core"
 	"tcsb/internal/counterfactual"
 	"tcsb/internal/experiments"
@@ -95,7 +107,38 @@ type options struct {
 	epochs       int
 	workers      int
 	parallel     int
+	archiveDir   string
+	analyze      bool
+	expectations string
 	explicit     map[string]bool
+}
+
+// runFlagNames are the campaign-shaping flags; none of them mean
+// anything in analyze-only mode, so setting one there is a
+// contradiction surfaced at exit 2, never silently ignored.
+var runFlagNames = []string{
+	"seed", "scale", "preset", "net-profile", "days", "only", "what-if",
+	"attack-params", "timeline", "epochs", "workers", "parallel", "retain-trace",
+}
+
+// validateAnalyzeOptions rejects flag shapes that mix analyze-only mode
+// with campaign flags. Pure, so the table tests cover each rejection.
+func validateAnalyzeOptions(o options) error {
+	if !o.analyze {
+		if o.expectations != "" {
+			return fmt.Errorf("-expectations only applies to -analyze mode")
+		}
+		return nil
+	}
+	if o.archiveDir == "" {
+		return fmt.Errorf("-analyze needs -archive-dir: the archive is what gets analyzed")
+	}
+	for _, name := range runFlagNames {
+		if o.explicit[name] {
+			return fmt.Errorf("-%s shapes a campaign; -analyze reads prior archives and runs nothing", name)
+		}
+	}
+	return nil
 }
 
 // buildRequest validates the flag shape and reduces it to the canonical
@@ -160,8 +203,11 @@ func main() {
 	flag.IntVar(&o.epochs, "epochs", 0, "override the -timeline schedule's epoch count (alone: a drift-free epochs=N schedule)")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "goroutine pool size for the observation campaign (output is identical for every value; must be positive)")
 	flag.IntVar(&o.parallel, "parallel", runtime.NumCPU(), "max experiments executed concurrently (must be positive)")
-	jsonOut := flag.Bool("json", false, "emit JSONL (one JSON object per table) instead of text tables")
+	jsonOut := flag.Bool("json", false, "emit JSONL (one JSON object per table) instead of text tables; in -analyze mode, the full report JSON instead of the summary")
 	list := flag.Bool("list", false, "list registered experiments and interventions, then exit")
+	flag.StringVar(&o.archiveDir, "archive-dir", "", "run archive directory: campaign runs persist their JSONL stream + request manifest there; -analyze reads it back")
+	flag.BoolVar(&o.analyze, "analyze", false, "analyze-only mode: ingest the -archive-dir, group runs by request shape, report cross-run deltas, drift slopes and expectation alerts (exit 1 when alerts fire); runs no simulation")
+	flag.StringVar(&o.expectations, "expectations", "", "pinned expectations file for -analyze (JSON rule list; see expectations.json)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) { o.explicit[f.Name] = true })
 
@@ -175,6 +221,22 @@ func main() {
 		fmt.Println(netPresetList())
 		fmt.Println()
 		fmt.Println(timelinePresetList())
+		return
+	}
+
+	if err := validateAnalyzeOptions(o); err != nil {
+		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+		os.Exit(2)
+	}
+	if o.analyze {
+		alerts, err := runAnalyze(o.archiveDir, o.expectations, *jsonOut, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+			os.Exit(2)
+		}
+		if alerts > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -203,6 +265,21 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr)
 
+	if o.archiveDir != "" {
+		// Archives always hold the JSONL stream — the exact bytes the run
+		// cache stores — whatever the stdout format is.
+		var buf bytes.Buffer
+		if err := experiments.RenderJSONL(&buf, results); err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
+			os.Exit(1)
+		}
+		if err := analyze.WriteArchive(o.archiveDir, res.Key, res.Req, buf.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "tcsb-experiments: archive:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "archived run %s to %s\n", res.Key, o.archiveDir)
+	}
+
 	render := experiments.RenderText
 	if *jsonOut {
 		render = experiments.RenderJSONL
@@ -211,6 +288,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tcsb-experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runAnalyze is the analyze-only mode: load the archive, apply the
+// expectations, render the report (summary or full JSON) and return
+// the alert count. Pure over its inputs, so tests drive it directly.
+func runAnalyze(dir, expectations string, jsonOut bool, w io.Writer) (int, error) {
+	var exp analyze.Expectations
+	if expectations != "" {
+		var err error
+		if exp, err = analyze.LoadExpectations(expectations); err != nil {
+			return 0, err
+		}
+	}
+	runs, err := analyze.LoadArchive(dir)
+	if err != nil {
+		return 0, err
+	}
+	rep := analyze.Analyze(runs, exp)
+	render := analyze.RenderSummary
+	if jsonOut {
+		render = analyze.RenderJSON
+	}
+	if err := render(w, rep); err != nil {
+		return 0, err
+	}
+	return len(rep.Alerts), nil
 }
 
 // interventionList renders the counterfactual catalog for -list.

@@ -1,8 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"tcsb/internal/analyze"
+	"tcsb/internal/core"
 )
 
 // defaults mirrors the flag defaults main registers, so each case only
@@ -99,5 +107,110 @@ func TestBuildRequestOnlySplit(t *testing.T) {
 	}
 	if len(req.Only) != 2 || req.Only[0] != "fig3" || req.Only[1] != "table1" {
 		t.Fatalf("Only = %q", req.Only)
+	}
+}
+
+// TestValidateAnalyzeOptions pins the analyze-mode flag surface:
+// analyze needs an archive, campaign flags contradict it, and
+// -expectations means nothing outside it.
+func TestValidateAnalyzeOptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string
+	}{
+		{"run mode passes", func(o *options) {}, ""},
+		{"archive-dir alone passes", func(o *options) { o.archiveDir = "runs" }, ""},
+		{"analyze with archive passes", func(o *options) { o.analyze = true; o.archiveDir = "runs" }, ""},
+		{"analyze without archive", func(o *options) { o.analyze = true }, "needs -archive-dir"},
+		{
+			"analyze with campaign flag",
+			func(o *options) {
+				o.analyze = true
+				o.archiveDir = "runs"
+				o.explicit["seed"] = true
+			},
+			"runs nothing",
+		},
+		{
+			"analyze with what-if",
+			func(o *options) {
+				o.analyze = true
+				o.archiveDir = "runs"
+				o.explicit["what-if"] = true
+			},
+			"runs nothing",
+		},
+		{"expectations outside analyze", func(o *options) { o.expectations = "e.json" }, "only applies to -analyze"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			o := defaults()
+			tc.mutate(&o)
+			err := validateAnalyzeOptions(o)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateAnalyzeOptions: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunAnalyze drives the analyze-only mode end to end over a
+// hand-written archive: summary output, report JSON, alert counting and
+// the error surfaces for a bad directory or expectations file.
+func TestRunAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := []byte(`{"experiment":"figx","section":"§9","table":{"title":"t","columns":["k","share"],"rows":[["A-N","91.9%"]]}}` + "\n")
+	if err := analyze.WriteArchive(dir, "aaa1", core.RunRequest{Seed: 1, Scale: 0.05, Days: 1}, jsonl); err != nil {
+		t.Fatal(err)
+	}
+	jsonl2 := []byte(`{"experiment":"figx","section":"§9","table":{"title":"t","columns":["k","share"],"rows":[["A-N","99%"]]}}` + "\n")
+	if err := analyze.WriteArchive(dir, "aaa2", core.RunRequest{Seed: 2, Scale: 0.05, Days: 1}, jsonl2); err != nil {
+		t.Fatal(err)
+	}
+
+	var sum bytes.Buffer
+	alerts, err := runAnalyze(dir, "", false, &sum)
+	if err != nil || alerts != 0 {
+		t.Fatalf("alerts=%d err=%v", alerts, err)
+	}
+	if !strings.Contains(sum.String(), "analyzed 2 archived runs") {
+		t.Fatalf("summary:\n%s", sum.String())
+	}
+
+	expPath := filepath.Join(t.TempDir(), "exp.json")
+	if err := os.WriteFile(expPath, []byte(`{"rules":[{"column":"share","max":95}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rep bytes.Buffer
+	alerts, err = runAnalyze(dir, expPath, true, &rep)
+	if err != nil || alerts != 1 {
+		t.Fatalf("alerts=%d err=%v", alerts, err)
+	}
+	var doc struct {
+		Alerts []map[string]any `json:"alerts"`
+	}
+	if err := json.Unmarshal(rep.Bytes(), &doc); err != nil {
+		t.Fatalf("report JSON: %v\n%s", err, rep.String())
+	}
+	if len(doc.Alerts) != 1 || doc.Alerts[0]["kind"] != "bound" {
+		t.Fatalf("alerts: %+v", doc.Alerts)
+	}
+
+	if _, err := runAnalyze(filepath.Join(dir, "missing"), "", false, io.Discard); err == nil {
+		t.Fatal("missing archive dir accepted")
+	}
+	if err := os.WriteFile(expPath, []byte(`{"rules":[{"column":""}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runAnalyze(dir, expPath, false, io.Discard); err == nil {
+		t.Fatal("invalid expectations accepted")
 	}
 }

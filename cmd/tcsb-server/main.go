@@ -14,6 +14,14 @@
 //	GET  /v1/cache          run-cache counters
 //	POST /v1/runs           run (or serve from cache) one campaign; NDJSON
 //	POST /v1/sweeps         expand a parameter grid and run the fleet; NDJSON
+//	GET  /v1/analyze        longitudinal report over the -archive-dir run archive
+//	POST /v1/analyze        same, with an expectations document to alert against
+//
+// -archive-dir makes the cache durable: every fill persists as a run
+// archive (<key>.jsonl plus a manifest of the canonical request), the
+// boot path primes the cache from it (a restarted server serves prior
+// runs as hits, misses stay 0), and /v1/analyze runs the longitudinal
+// analyzer (internal/analyze) over it.
 //
 // Profiling: -pprof ADDR (e.g. -pprof localhost:6060) serves the
 // standard net/http/pprof endpoints (/debug/pprof/...) on a separate
@@ -53,6 +61,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "global campaign worker budget, split across the fleet")
 	fleet := flag.Int("fleet", 2, "maximum concurrently executing campaigns")
 	cacheEntries := flag.Int("cache-entries", 256, "run-cache capacity in stored runs (0 = unbounded)")
+	archiveDir := flag.String("archive-dir", "", "run archive directory: persist every cache fill (<key>.jsonl + manifest), prime the cache from it at boot, and enable GET|POST /v1/analyze; empty = disabled")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = disabled")
 	flag.Parse()
 
@@ -71,7 +80,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	s := newServer(*fleet, *workers, *cacheEntries, log.Printf)
+	s := newServer(*fleet, *workers, *cacheEntries, *archiveDir, log.Printf)
+	if *archiveDir != "" {
+		// Rehydrate the run cache from the archive: a restart serves
+		// previously computed campaigns as hits from the first request. A
+		// missing directory just means nothing is archived yet; the first
+		// cache fill creates it.
+		if _, err := os.Stat(*archiveDir); err == nil {
+			primed, err := s.primeFromArchive()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tcsb-server: -archive-dir %s: %v\n", *archiveDir, err)
+				os.Exit(2)
+			}
+			log.Printf("primed %d runs from archive %s", primed, *archiveDir)
+		}
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.handler(),

@@ -19,10 +19,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime/debug"
 	"strings"
 
+	"tcsb/internal/analyze"
 	"tcsb/internal/core"
 	"tcsb/internal/counterfactual"
 	"tcsb/internal/experiments"
@@ -36,15 +38,18 @@ import (
 const maxSweepRuns = 256
 
 type server struct {
-	cache  *runcache.Cache
-	slots  chan struct{} // fleet run slots; holding one runs a campaign
-	perRun int           // campaign workers per slot
-	logf   func(format string, args ...any)
+	cache      *runcache.Cache
+	slots      chan struct{} // fleet run slots; holding one runs a campaign
+	perRun     int           // campaign workers per slot
+	archiveDir string        // run archive: cache fills persist here ("" = off)
+	logf       func(format string, args ...any)
 }
 
 // newServer wires the fleet scheduler: fleetSlots concurrent campaigns
 // over a global budget of workers, perRun = budget/fleetSlots each.
-func newServer(fleetSlots, budget, cacheEntries int, logf func(string, ...any)) *server {
+// A non-empty archiveDir persists every cache fill as a run archive
+// (<key>.jsonl + manifest) and enables the /v1/analyze endpoint.
+func newServer(fleetSlots, budget, cacheEntries int, archiveDir string, logf func(string, ...any)) *server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -53,11 +58,44 @@ func newServer(fleetSlots, budget, cacheEntries int, logf func(string, ...any)) 
 		perRun = 1
 	}
 	return &server{
-		cache:  runcache.New(cacheEntries),
-		slots:  make(chan struct{}, fleetSlots),
-		perRun: perRun,
-		logf:   logf,
+		cache:      runcache.New(cacheEntries),
+		slots:      make(chan struct{}, fleetSlots),
+		perRun:     perRun,
+		archiveDir: archiveDir,
+		logf:       logf,
 	}
+}
+
+// primeFromArchive warms the run cache from the archive directory at
+// boot, so a restarted server serves previously computed runs as hits
+// (misses stay 0 across a restart). Every manifest request is
+// re-resolved and must still canonicalize to its archived key: an
+// archive written by an older engine whose config digest moved on is
+// skipped (logged), never served under a stale address.
+func (s *server) primeFromArchive() (int, error) {
+	runs, err := analyze.LoadArchive(s.archiveDir)
+	if err != nil {
+		return 0, err
+	}
+	primed := 0
+	for _, run := range runs {
+		res, err := experiments.Resolve(run.Request)
+		if err != nil || res.Key != run.Key {
+			s.logf("archive %s: stale (re-resolves to err=%v key=%q); skipping", run.Key, err, keyOf(res))
+			continue
+		}
+		if s.cache.Prime(run.Key, run.Raw) {
+			primed++
+		}
+	}
+	return primed, nil
+}
+
+func keyOf(res *experiments.Resolved) string {
+	if res == nil {
+		return ""
+	}
+	return res.Key
 }
 
 // handler builds the route table behind the recover middleware.
@@ -71,6 +109,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/cache", s.handleCache)
 	mux.HandleFunc("/v1/runs", s.handleRuns)
 	mux.HandleFunc("/v1/sweeps", s.handleSweeps)
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	return s.recoverPanics(mux)
 }
 
@@ -199,17 +238,25 @@ func decodeRequest(r *http.Request, v any) error {
 
 // compute serves res from the cache, running the campaign on a fleet
 // slot on a miss. Concurrent identical requests coalesce into one
-// computation (runcache single-flight).
+// computation (runcache single-flight). ctx gates only this caller's
+// wait: the flight itself runs detached on server lifetime — slot
+// acquisition included — so a client that cancels mid-flight (even the
+// one that started it) never poisons the coalesced followers, and the
+// finished bytes still land in the cache. Cache fills persist to the
+// run archive when one is configured; an archive write failure is
+// logged, not served — the response bytes are already correct.
 func (s *server) compute(ctx context.Context, res *experiments.Resolved) ([]byte, bool, error) {
-	return s.cache.GetOrCompute(res.Key, func() ([]byte, error) {
-		select {
-		case s.slots <- struct{}{}:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+	return s.cache.GetOrComputeCtx(ctx, res.Key, func() ([]byte, error) {
+		s.slots <- struct{}{}
 		defer func() { <-s.slots }()
 		s.logf("run %s: %s", res.Key[:12], res.Mode)
-		return res.ExecuteJSONL(nil)
+		body, err := res.ExecuteJSONL(nil)
+		if err == nil && s.archiveDir != "" {
+			if aerr := analyze.WriteArchive(s.archiveDir, res.Key, res.Req, body); aerr != nil {
+				s.logf("archive %s: %v", res.Key[:12], aerr)
+			}
+		}
+		return body, err
 	})
 }
 
@@ -227,8 +274,12 @@ func (s *server) resolveForFleet(req core.RunRequest) (*experiments.Resolved, er
 		workers = req.Workers
 	}
 	res.RC.Workers = workers
-	if res.Req.Parallel < 1 {
-		res.Req.Parallel = 2
+	// Raise derivation parallelism through Resolved.Parallel, never by
+	// mutating the canonical request: res.Req is what responses echo and
+	// archives record, and it must not grow a parallel value the client
+	// never sent (the output is byte-identical either way).
+	if res.Parallel < 1 {
+		res.Parallel = 2
 	}
 	return res, nil
 }
@@ -269,6 +320,48 @@ func cacheLabel(hit bool) string {
 	return "miss"
 }
 
+// handleAnalyze is the analyze-only endpoint: the longitudinal
+// analyzer over the server's own run archive. GET analyzes with no
+// expectations (deltas and drifts only); POST takes an expectations
+// document — the same rule schema as a checked-in expectations.json —
+// and additionally reports alerts against it. The response is the full
+// report JSON, byte-identical to the CLI's `-analyze -json` over the
+// same archive.
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.archiveDir == "" {
+		writeError(w, http.StatusNotFound, "no run archive: start the server with -archive-dir to enable /v1/analyze")
+		return
+	}
+	var exp analyze.Expectations
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("request body: %v", err))
+			return
+		}
+		if exp, err = analyze.ParseExpectations(body); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET, or POST an expectations document")
+		return
+	}
+	runs, err := analyze.LoadArchive(s.archiveDir)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("archive: %v", err))
+		return
+	}
+	rep := analyze.Analyze(runs, exp)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Tcsb-Alerts", fmt.Sprint(len(rep.Alerts)))
+	if err := analyze.RenderJSON(w, rep); err != nil {
+		s.logf("analyze render: %v", err)
+	}
+}
+
 // sweepSpec is the parameter-sweep grammar: every list is one grid
 // axis, the cross product is the run fleet. whatIf and timelines merge
 // into a single mode axis — each whatIf entry is a paired
@@ -306,13 +399,27 @@ func (sp sweepSpec) expand() []core.RunRequest {
 	if len(scales) == 0 {
 		scales = []float64{0}
 	}
+	// Dedupe the mode axis: an explicit "" means the plain baseline in
+	// either list, so whatIf ∪ timelines must merge the two spellings
+	// into one cell — `"whatIf":[""], "timelines":[""]` is one baseline,
+	// not two identical runs burning a grid slot each.
 	type modeCell struct{ whatIf, timeline string }
 	var modes []modeCell
+	seen := make(map[modeCell]bool)
+	addMode := func(m modeCell) {
+		if m.whatIf == "" && m.timeline == "" {
+			m = modeCell{}
+		}
+		if !seen[m] {
+			seen[m] = true
+			modes = append(modes, m)
+		}
+	}
 	for _, wi := range sp.WhatIf {
-		modes = append(modes, modeCell{whatIf: wi})
+		addMode(modeCell{whatIf: wi})
 	}
 	for _, tl := range sp.Timelines {
-		modes = append(modes, modeCell{timeline: tl})
+		addMode(modeCell{timeline: tl})
 	}
 	if len(modes) == 0 {
 		modes = []modeCell{{}}
@@ -390,43 +497,52 @@ func (s *server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("sweep: %d cells", len(resolved))
 
+	// Stream in grid order: every cell computes concurrently under the
+	// fleet slots, but row i is written — and flushed — the moment cell
+	// i completes, never buffered behind the slowest cell in the grid. A
+	// client watching the stream sees finished rows immediately (cached
+	// cells first of all), instead of silence until the whole sweep ends.
 	type cell struct {
 		body []byte
 		hit  bool
 		err  error
 	}
 	cells := make([]cell, len(resolved))
-	done := make(chan int)
+	dones := make([]chan struct{}, len(resolved))
 	for i := range resolved {
+		dones[i] = make(chan struct{})
 		go func(i int) {
 			body, hit, err := s.compute(r.Context(), resolved[i])
 			cells[i] = cell{body, hit, err}
-			done <- i
+			close(dones[i])
 		}(i)
-	}
-	for range resolved {
-		<-done
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for i, c := range cells {
+	for i := range resolved {
+		<-dones[i]
+		c := cells[i]
 		if c.err != nil {
 			enc.Encode(map[string]any{"index": i, "key": resolved[i].Key, "error": c.err.Error()})
-			continue
-		}
-		var lines []json.RawMessage
-		for _, line := range strings.Split(strings.TrimRight(string(c.body), "\n"), "\n") {
-			if line != "" {
-				lines = append(lines, json.RawMessage(line))
+		} else {
+			var lines []json.RawMessage
+			for _, line := range strings.Split(strings.TrimRight(string(c.body), "\n"), "\n") {
+				if line != "" {
+					lines = append(lines, json.RawMessage(line))
+				}
 			}
+			enc.Encode(sweepResult{
+				Index:   i,
+				Request: resolved[i].Req,
+				Key:     resolved[i].Key,
+				Cached:  c.hit,
+				Results: lines,
+			})
 		}
-		enc.Encode(sweepResult{
-			Index:   i,
-			Request: resolved[i].Req,
-			Key:     resolved[i].Key,
-			Cached:  c.hit,
-			Results: lines,
-		})
+		if flusher != nil {
+			flusher.Flush()
+		}
 	}
 }

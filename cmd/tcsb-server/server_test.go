@@ -2,21 +2,26 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"tcsb/internal/analyze"
 	"tcsb/internal/core"
 	"tcsb/internal/experiments"
+	"tcsb/internal/runcache"
 )
 
 // testServer is a small fleet over a tiny worker budget — enough to
 // exercise slot contention without slowing the suite down.
 func testServer() *server {
-	return newServer(2, 4, 64, nil)
+	return newServer(2, 4, 64, "", nil)
 }
 
 // tinyRun is the smallest campaign that exercises the full pipeline:
@@ -361,8 +366,8 @@ func TestWorkerClampNeverChangesBytes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real campaigns")
 	}
-	wide := newServer(1, 8, 16, nil)
-	narrow := newServer(4, 1, 16, nil)
+	wide := newServer(1, 8, 16, "", nil)
+	narrow := newServer(4, 1, 16, "", nil)
 
 	req := tinyRun()
 	a := postJSON(t, wide.handler(), "/v1/runs", req)
@@ -375,5 +380,327 @@ func TestWorkerClampNeverChangesBytes(t *testing.T) {
 	}
 	if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
 		t.Fatal("worker allotment changed the output bytes")
+	}
+}
+
+// waitStats polls the cache counters until ok returns true — the
+// deterministic way to sequence concurrent requests in these tests
+// without sleeping on real-time guesses.
+func waitStats(t *testing.T, s *server, what string, ok func(runcache.Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !ok(s.cache.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s (stats %s)", what, s.cache.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelledClientDoesNotPoisonCoalesced is the regression pin for
+// the coalescing bug: the flight owner's HTTP request is cancelled
+// while the flight waits for a fleet slot, and a coalesced follower of
+// the same key must still get a 200 with the full body — the flight
+// belongs to the server, not to the requester that happened to start
+// it.
+func TestCancelledClientDoesNotPoisonCoalesced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real campaign")
+	}
+	s := newServer(1, 2, 16, "", nil)
+	h := s.handler()
+	// Hold the only fleet slot: the flight parks at slot acquisition.
+	s.slots <- struct{}{}
+
+	body, err := json.Marshal(tinyRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	firstRec := httptest.NewRecorder()
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		h.ServeHTTP(firstRec, httptest.NewRequest(http.MethodPost, "/v1/runs", bytes.NewReader(body)).WithContext(ctx))
+	}()
+	waitStats(t, s, "the flight to register", func(st runcache.Stats) bool { return st.Misses == 1 })
+
+	secondRec := httptest.NewRecorder()
+	secondDone := make(chan struct{})
+	go func() {
+		defer close(secondDone)
+		h.ServeHTTP(secondRec, httptest.NewRequest(http.MethodPost, "/v1/runs", bytes.NewReader(body)))
+	}()
+	waitStats(t, s, "the follower to coalesce", func(st runcache.Stats) bool { return st.Coalesced >= 1 })
+
+	// Cancel the owner. Its request errors out; the flight must not.
+	cancel()
+	<-firstDone
+	if firstRec.Code != http.StatusInternalServerError {
+		t.Fatalf("cancelled owner got %d, want 500", firstRec.Code)
+	}
+	select {
+	case <-secondDone:
+		t.Fatal("follower returned while the flight was still parked")
+	default:
+	}
+
+	// Release the slot: the detached flight computes and the follower is
+	// served the full body.
+	<-s.slots
+	<-secondDone
+	if secondRec.Code != http.StatusOK || secondRec.Body.Len() == 0 {
+		t.Fatalf("follower got %d (%d bytes), want 200 with a full body", secondRec.Code, secondRec.Body.Len())
+	}
+
+	// The computed bytes landed in the cache: a third request is a hit
+	// with identical bytes, and no recompute ever happened.
+	third := postJSON(t, h, "/v1/runs", tinyRun())
+	if third.Header().Get("X-Tcsb-Cache") != "hit" || !bytes.Equal(third.Body.Bytes(), secondRec.Body.Bytes()) {
+		t.Fatal("flight result did not land in the cache intact")
+	}
+	if st := s.cache.Stats(); st.Misses != 1 {
+		t.Fatalf("%d campaigns ran; the cancelled owner must not force a recompute", st.Misses)
+	}
+}
+
+// streamRecorder is a ResponseWriter that surfaces each written NDJSON
+// line as it arrives, so a test can observe streaming order while the
+// handler is still running.
+type streamRecorder struct {
+	mu      sync.Mutex
+	header  http.Header
+	partial bytes.Buffer
+	lines   chan string
+	flushes atomic.Int32
+}
+
+func newStreamRecorder() *streamRecorder {
+	return &streamRecorder{header: http.Header{}, lines: make(chan string, 64)}
+}
+
+func (r *streamRecorder) Header() http.Header { return r.header }
+func (r *streamRecorder) WriteHeader(int)     {}
+func (r *streamRecorder) Flush()              { r.flushes.Add(1) }
+
+func (r *streamRecorder) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.partial.Write(p)
+	for {
+		s := r.partial.String()
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		r.lines <- s[:i]
+		r.partial.Next(i + 1)
+	}
+}
+
+// TestSweepStreamsRows is the regression pin for the buffering bug:
+// row i must be written and flushed as soon as cell i completes, never
+// held until the whole grid finishes. Cell 0 is primed (instant hit)
+// and cell 1 is blocked on the only fleet slot — so row 0 arriving
+// while the slot is still held proves the handler streams.
+func TestSweepStreamsRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real campaign")
+	}
+	s := newServer(1, 2, 16, "", nil)
+	h := s.handler()
+
+	res0, err := experiments.Resolve(core.RunRequest{Seed: 3, Scale: 0.05, Days: 1, Only: []string{"table1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := []byte(`{"experiment":"table1","section":"§2","table":{"title":"t","columns":["k","v"],"rows":[["total","5"]]}}` + "\n")
+	s.cache.Prime(res0.Key, fake)
+	s.slots <- struct{}{} // cell 1 parks here
+
+	rec := newStreamRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/sweeps",
+			strings.NewReader(`{"seeds":[3,4],"scales":[0.05],"days":1,"only":["table1"]}`)))
+	}()
+
+	select {
+	case line := <-rec.lines:
+		var row sweepResult
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("first streamed line: %v\n%s", err, line)
+		}
+		if row.Index != 0 || !row.Cached {
+			t.Fatalf("first streamed row: %+v, want cached cell 0", row)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("row 0 did not stream while cell 1 was still computing")
+	}
+	if rec.flushes.Load() < 1 {
+		t.Error("row 0 was written but never flushed to the client")
+	}
+
+	<-s.slots // release: cell 1 runs
+	<-done
+	select {
+	case line := <-rec.lines:
+		var row sweepResult
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("second streamed line: %v\n%s", err, line)
+		}
+		if row.Index != 1 || row.Cached || len(row.Results) == 0 {
+			t.Fatalf("second streamed row: %+v, want computed cell 1", row)
+		}
+	default:
+		t.Fatal("row 1 missing after the sweep finished")
+	}
+}
+
+// TestSweepExpandDedupesBaseline pins the mode-axis dedupe: an
+// explicit "" in whatIf and in timelines is the same baseline cell,
+// and repeated entries never burn extra grid slots.
+func TestSweepExpandDedupesBaseline(t *testing.T) {
+	cases := []struct {
+		name string
+		spec sweepSpec
+		want int
+	}{
+		{"both empty baselines", sweepSpec{Seeds: []int64{1}, WhatIf: []string{""}, Timelines: []string{""}}, 1},
+		{"duplicate whatIf entries", sweepSpec{Seeds: []int64{1}, WhatIf: []string{"a", "a"}}, 1},
+		{"baseline plus named", sweepSpec{Seeds: []int64{1}, WhatIf: []string{"", "a"}, Timelines: []string{""}}, 2},
+		{"distinct modes survive", sweepSpec{Seeds: []int64{1}, WhatIf: []string{"a"}, Timelines: []string{"epochs=2"}}, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.spec.expand()
+			if len(got) != tc.want {
+				t.Fatalf("%d cells, want %d: %+v", len(got), tc.want, got)
+			}
+			for _, req := range got {
+				if req.WhatIf != "" && req.Timeline != "" {
+					t.Fatalf("cell mixes modes: %+v", req)
+				}
+			}
+		})
+	}
+	one := sweepSpec{Seeds: []int64{1}, WhatIf: []string{""}, Timelines: []string{""}}.expand()[0]
+	if one.WhatIf != "" || one.Timeline != "" {
+		t.Fatalf("merged baseline cell is not plain: %+v", one)
+	}
+}
+
+// TestSweepEchoesCanonicalRequest pins the response contract: the
+// echoed request is the canonical client request — it must not grow
+// workers/parallel values the server chose for its own scheduling.
+func TestSweepEchoesCanonicalRequest(t *testing.T) {
+	s := testServer()
+	h := s.handler()
+	res, err := experiments.Resolve(core.RunRequest{Seed: 3, Scale: 0.05, Days: 1, Only: []string{"table1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := []byte(`{"experiment":"table1","section":"§2","table":{"title":"t","columns":["k","v"],"rows":[["total","5"]]}}` + "\n")
+	s.cache.Prime(res.Key, fake)
+
+	w := postJSON(t, h, "/v1/sweeps", map[string]any{
+		"seeds": []int64{3}, "scales": []float64{0.05}, "days": 1, "only": []string{"table1"},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", w.Code, w.Body)
+	}
+	var row struct {
+		Request map[string]any `json:"request"`
+		Cached  bool           `json:"cached"`
+	}
+	line, _, _ := strings.Cut(w.Body.String(), "\n")
+	if err := json.Unmarshal([]byte(line), &row); err != nil {
+		t.Fatal(err)
+	}
+	if !row.Cached {
+		t.Fatalf("primed cell not cache-served: %s", line)
+	}
+	for _, k := range []string{"parallel", "workers"} {
+		if v, ok := row.Request[k]; ok {
+			t.Errorf("echoed request grew %q=%v the client never sent", k, v)
+		}
+	}
+}
+
+// TestServerArchivePrimingAndAnalyze covers the archive lifecycle
+// without running a campaign: a prior run persisted to the archive is
+// primed at boot (served as a hit, misses stay 0), a stale manifest
+// whose request no longer resolves to its key is skipped, and
+// /v1/analyze reports over the same archive.
+func TestServerArchivePrimingAndAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	res, err := experiments.Resolve(tinyRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := []byte(`{"experiment":"table1","section":"§2","table":{"title":"t","columns":["k","v"],"rows":[["total","5"]]}}` + "\n")
+	if err := analyze.WriteArchive(dir, res.Key, res.Req, fake); err != nil {
+		t.Fatal(err)
+	}
+	// A manifest whose key no longer matches its re-resolved request
+	// (an archive from an older engine) must be skipped, never primed.
+	stale := tinyRun()
+	stale.Days = 2
+	if err := analyze.WriteArchive(dir, "deadbeef", stale, fake); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newServer(2, 4, 64, dir, nil)
+	primed, err := s.primeFromArchive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primed != 1 {
+		t.Fatalf("primed %d runs, want 1 (stale manifest must be skipped)", primed)
+	}
+	h := s.handler()
+
+	w := postJSON(t, h, "/v1/runs", tinyRun())
+	if w.Code != http.StatusOK || w.Header().Get("X-Tcsb-Cache") != "hit" {
+		t.Fatalf("restarted server: %d cache=%s", w.Code, w.Header().Get("X-Tcsb-Cache"))
+	}
+	if !bytes.Equal(w.Body.Bytes(), fake) {
+		t.Fatal("primed bytes differ from the archived run")
+	}
+	if st := s.cache.Stats(); st.Misses != 0 || st.Primed != 1 {
+		t.Fatalf("stats after primed hit: %s, want misses=0 primed=1", st)
+	}
+
+	wa := get(t, h, "/v1/analyze")
+	if wa.Code != http.StatusOK {
+		t.Fatalf("GET /v1/analyze: %d %s", wa.Code, wa.Body)
+	}
+	var rep struct {
+		Runs   int              `json:"runs"`
+		Groups []map[string]any `json:"groups"`
+		Alerts []map[string]any `json:"alerts"`
+	}
+	if err := json.Unmarshal(wa.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 2 || len(rep.Groups) != 2 || len(rep.Alerts) != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+
+	wp := postJSON(t, h, "/v1/analyze", map[string]any{
+		"rules": []map[string]any{{"column": "v", "max": 1}},
+	})
+	if wp.Code != http.StatusOK || wp.Header().Get("X-Tcsb-Alerts") != "2" {
+		t.Fatalf("POST /v1/analyze: %d alerts=%q %s", wp.Code, wp.Header().Get("X-Tcsb-Alerts"), wp.Body)
+	}
+
+	if bad := postJSON(t, h, "/v1/analyze", map[string]any{"rules": []map[string]any{{"column": ""}}}); bad.Code != http.StatusBadRequest {
+		t.Fatalf("invalid expectations: %d, want 400", bad.Code)
+	}
+	if off := get(t, testServer().handler(), "/v1/analyze"); off.Code != http.StatusNotFound {
+		t.Fatalf("analyze without an archive: %d, want 404", off.Code)
 	}
 }

@@ -97,6 +97,20 @@
 // single campaign. Invalid input is an exit-2 diagnostic or an HTTP
 // 4xx, never a panic.
 //
+// A longitudinal layer (internal/analyze) lets runs outlive the
+// process: -archive-dir persists each campaign as a run archive — the
+// exact JSONL byte stream the run cache stores plus a manifest of the
+// canonical request — written by the CLI after rendering and by the
+// server on every cache fill (which also primes the cache back from
+// the archive at boot, so a restart serves prior runs as hits). The
+// analyze-only mode (tcsb-experiments -analyze, GET|POST /v1/analyze)
+// runs no simulation: it re-ingests the archive, groups runs by
+// canonical request shape, computes cross-run deltas and per-epoch
+// drift slopes, and alerts against the pinned rules in
+// expectations.json (absolute bounds, relative-change thresholds,
+// drift ceilings; CLI exit 1 on a breach). The report is
+// byte-deterministic for identical archive sets.
+//
 // See README.md for a guided tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured
 // results (regenerable via `go run ./cmd/tcsb-experiments -json`). The

@@ -1,0 +1,391 @@
+package analyze
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcsb/internal/core"
+)
+
+// fixtureJSONL renders a tiny two-table archive stream: one plain
+// metrics table and one epoch-keyed timeline table, parameterized so
+// tests can inject longitudinal movement.
+func fixtureJSONL(share string, online ...float64) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"experiment":"figx","section":"§9","table":{"title":"Fig X — shares","columns":["methodology","cloud","label"],"rows":[["A-N","%s","x"],["G-IP","89.4%%","y"]]}}`+"\n", share)
+	rows := make([]string, len(online))
+	for i, v := range online {
+		rows[i] = fmt.Sprintf(`["%d","%g"]`, i+1, v)
+	}
+	fmt.Fprintf(&b, `{"experiment":"timeline.population","section":"§5","timeline":"epochs=%d;days=1","table":{"title":"population","columns":["epoch","online"],"rows":[%s]}}`+"\n",
+		len(online), strings.Join(rows, ","))
+	return []byte(b.String())
+}
+
+func fixtureReq(seed int64) core.RunRequest {
+	return core.RunRequest{Seed: seed, Scale: 0.05, Days: 1}
+}
+
+// writeFixtureArchive archives n seeds of the same shape plus one run
+// of a different shape, and returns the directory.
+func writeFixtureArchive(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	archive := func(key string, req core.RunRequest, jsonl []byte) {
+		t.Helper()
+		if err := WriteArchive(dir, key, req, jsonl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	archive("aaa1", fixtureReq(1), fixtureJSONL("91.9%", 100, 98, 96))
+	archive("aaa2", fixtureReq(2), fixtureJSONL("92.1%", 100, 97, 95))
+	archive("bbb1", core.RunRequest{Seed: 1, Scale: 0.05, Days: 2}, fixtureJSONL("50%", 100, 100))
+	return dir
+}
+
+func TestShapeIgnoresSeedAndConcurrency(t *testing.T) {
+	a := core.RunRequest{Seed: 1, Scale: 0.5, Days: 3, Workers: 8, Parallel: 4}
+	b := core.RunRequest{Seed: 99, Scale: 0.5, Days: 3, Workers: 1}
+	if Shape(a) != Shape(b) {
+		t.Fatalf("shapes differ:\n%s\n%s", Shape(a), Shape(b))
+	}
+	c := core.RunRequest{Seed: 1, Scale: 0.5, Days: 4}
+	if Shape(a) == Shape(c) {
+		t.Fatal("different days collapsed into one shape")
+	}
+}
+
+func TestWriteLoadArchiveRoundTrip(t *testing.T) {
+	dir := writeFixtureArchive(t)
+	runs, err := LoadArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("%d runs, want 3", len(runs))
+	}
+	// Key-sorted load order.
+	for i, want := range []string{"aaa1", "aaa2", "bbb1"} {
+		if runs[i].Key != want {
+			t.Fatalf("run %d key %q, want %q", i, runs[i].Key, want)
+		}
+	}
+	if runs[0].Request.Seed != 1 || runs[0].Request.Workers != 0 {
+		t.Fatalf("manifest request not canonical: %+v", runs[0].Request)
+	}
+	if !bytes.Equal(runs[0].Raw, fixtureJSONL("91.9%", 100, 98, 96)) {
+		t.Fatal("raw bytes drifted through archive round trip")
+	}
+	if len(runs[0].Rows) != 2 {
+		t.Fatalf("%d parsed rows, want 2", len(runs[0].Rows))
+	}
+
+	// Workers/Parallel are zeroed at write time.
+	req := fixtureReq(7)
+	req.Workers, req.Parallel = 8, 4
+	if err := WriteArchive(dir, "ccc1", req, fixtureJSONL("10%", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := os.ReadFile(filepath.Join(dir, "ccc1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(mb), "workers") || strings.Contains(string(mb), "parallel") {
+		t.Fatalf("manifest leaked concurrency knobs:\n%s", mb)
+	}
+}
+
+func TestWriteArchiveRejectsPathKeys(t *testing.T) {
+	for _, key := range []string{"", "../escape", "a/b"} {
+		if err := WriteArchive(t.TempDir(), key, fixtureReq(1), nil); err == nil {
+			t.Fatalf("key %q accepted", key)
+		}
+	}
+}
+
+func TestLoadArchiveRejectsInconsistency(t *testing.T) {
+	cases := []struct {
+		name string
+		prep func(t *testing.T, dir string)
+		want string
+	}{
+		{"key mismatch", func(t *testing.T, dir string) {
+			writeFile(t, dir, "zzz.json", `{"key":"other","request":{"seed":1}}`)
+		}, `names key "other"`},
+		{"missing jsonl", func(t *testing.T, dir string) {
+			writeFile(t, dir, "zzz.json", `{"key":"zzz","request":{"seed":1}}`)
+		}, "archived run zzz"},
+		{"unknown manifest field", func(t *testing.T, dir string) {
+			writeFile(t, dir, "zzz.json", `{"key":"zzz","request":{"seed":1},"extra":true}`)
+		}, "manifest zzz.json"},
+		{"bad jsonl", func(t *testing.T, dir string) {
+			writeFile(t, dir, "zzz.json", `{"key":"zzz","request":{"seed":1}}`)
+			writeFile(t, dir, "zzz.jsonl", "{not json}\n")
+		}, "archived run zzz"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			tc.prep(t, dir)
+			_, err := LoadArchive(dir)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseExpectationsValidation(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"unknown field", `{"ruless":[]}`, "unknown field"},
+		{"missing column", `{"rules":[{"max":1}]}`, "column is required"},
+		{"no bound", `{"rules":[{"column":"c"}]}`, "at least one"},
+		{"min above max", `{"rules":[{"column":"c","min":2,"max":1}]}`, "min 2 > max 1"},
+		{"negative rel", `{"rules":[{"column":"c","maxRelDelta":-0.1}]}`, "negative"},
+		{"negative slope", `{"rules":[{"column":"c","maxDriftSlope":-1}]}`, "negative"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseExpectations([]byte(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+	exp, err := ParseExpectations([]byte(`{"rules":[{"column":"cloud","max":95,"experiment":"figx"}]}`))
+	if err != nil || len(exp.Rules) != 1 {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+}
+
+func TestParseNumeric(t *testing.T) {
+	cases := []struct {
+		in   string
+		v    float64
+		unit string
+		ok   bool
+	}{
+		{"42", 42, "", true},
+		{"0.5", 0.5, "", true},
+		{"91.9%", 91.9, "%", true},
+		{"1.38e+09", 1.38e9, "", true},
+		{"G-IP", 0, "", false},
+		{"", 0, "", false},
+	}
+	for _, tc := range cases {
+		v, unit, ok := parseNumeric(tc.in)
+		if v != tc.v || unit != tc.unit || ok != tc.ok {
+			t.Fatalf("parseNumeric(%q) = %v %q %v", tc.in, v, unit, ok)
+		}
+	}
+}
+
+// TestAnalyzeGroupsDeltasDrifts pins the analytical core: grouping by
+// shape, seed-ordered runs, consecutive-pair deltas and least-squares
+// epoch slopes.
+func TestAnalyzeGroupsDeltasDrifts(t *testing.T) {
+	runs, err := LoadArchive(writeFixtureArchive(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(runs, Expectations{})
+	if len(rep.Groups) != 2 {
+		t.Fatalf("%d groups, want 2", len(rep.Groups))
+	}
+	// Two-run group: one delta pair over the numeric cells. The "label"
+	// column is non-numeric and must not appear; neither must the
+	// methodology label column itself.
+	var g *Group
+	for i := range rep.Groups {
+		if len(rep.Groups[i].Runs) == 2 {
+			g = &rep.Groups[i]
+		}
+	}
+	if g == nil {
+		t.Fatal("two-run group missing")
+	}
+	if g.Runs[0].Seed != 1 || g.Runs[1].Seed != 2 {
+		t.Fatalf("runs out of seed order: %+v", g.Runs)
+	}
+	// figx: cloud for A-N and G-IP; population: online per epoch row
+	// (3 shared epochs) → 2 + 3 deltas.
+	if len(g.Deltas) != 5 {
+		t.Fatalf("%d deltas, want 5: %+v", len(g.Deltas), g.Deltas)
+	}
+	d := g.Deltas[0]
+	if d.Experiment != "figx" || d.Row != "A-N" || d.Column != "cloud" {
+		t.Fatalf("first delta misplaced: %+v", d)
+	}
+	if d.From != "91.9" || d.To != "92.1" || d.Unit != "%" {
+		t.Fatalf("delta values: %+v", d)
+	}
+	from, to := 91.9, 92.1
+	if d.Delta != canon(to-from) || d.Rel == "" {
+		t.Fatalf("delta rendering: %+v", d)
+	}
+
+	// Drift: population declines 100,98,96 → slope -2 (seed 1) and
+	// 100,97,95 → -2.5 (seed 2).
+	if len(g.Drifts) != 2 {
+		t.Fatalf("%d drifts, want 2: %+v", len(g.Drifts), g.Drifts)
+	}
+	if g.Drifts[0].Slope != "-2" || g.Drifts[1].Slope != "-2.5" {
+		t.Fatalf("slopes: %+v", g.Drifts)
+	}
+	if g.Drifts[0].Points != 3 || g.Drifts[0].Column != "online" {
+		t.Fatalf("drift shape: %+v", g.Drifts[0])
+	}
+}
+
+// TestAnalyzeDeterminism pins the acceptance criterion: identical
+// archive sets produce byte-identical JSON and summary output, however
+// many times the analyzer runs.
+func TestAnalyzeDeterminism(t *testing.T) {
+	dir := writeFixtureArchive(t)
+	exp, err := ParseExpectations([]byte(`{"rules":[
+		{"experiment":"figx","column":"cloud","min":1,"max":95,"maxRelDelta":0.05},
+		{"column":"online","maxDriftSlope":10}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() (string, string) {
+		runs, err := LoadArchive(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Analyze(runs, exp)
+		var j, s bytes.Buffer
+		if err := RenderJSON(&j, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := RenderSummary(&s, rep); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), s.String()
+	}
+	j1, s1 := render()
+	for i := 0; i < 3; i++ {
+		j2, s2 := render()
+		if j1 != j2 {
+			t.Fatalf("JSON output drifted between runs:\n%s\n---\n%s", j1, j2)
+		}
+		if s1 != s2 {
+			t.Fatalf("summary output drifted between runs:\n%s\n---\n%s", s1, s2)
+		}
+	}
+	if !strings.Contains(j1, `"alerts": []`) {
+		t.Fatalf("fixture unexpectedly alerts:\n%s", j1)
+	}
+	if !strings.Contains(s1, "0 alerts") {
+		t.Fatalf("summary: %s", s1)
+	}
+}
+
+// TestAnalyzeInjectedRegression pins the other acceptance criterion: a
+// doctored archive produces exactly the expected alert rows.
+func TestAnalyzeInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(WriteArchive(dir, "aaa1", fixtureReq(1), fixtureJSONL("91.9%", 100, 98, 96)))
+	// Seed 2 regresses: share jumps past the 5% relative threshold and
+	// above the absolute bound; population collapses with slope -40.
+	must(WriteArchive(dir, "aaa2", fixtureReq(2), fixtureJSONL("99%", 100, 60, 20)))
+	exp, err := ParseExpectations([]byte(`{"rules":[
+		{"experiment":"figx","column":"cloud","row":"A-N","max":95,"maxRelDelta":0.05},
+		{"column":"online","maxDriftSlope":10}
+	]}`))
+	must(err)
+	runs, err := LoadArchive(dir)
+	must(err)
+	rep := Analyze(runs, exp)
+
+	if len(rep.Alerts) != 3 {
+		t.Fatalf("%d alerts, want 3: %+v", len(rep.Alerts), rep.Alerts)
+	}
+	// Fixed order: bounds over runs first, then deltas, then drifts.
+	bound, delta, drift := rep.Alerts[0], rep.Alerts[1], rep.Alerts[2]
+	if bound.Kind != "bound" || bound.Rule != 0 || bound.Value != "99" || bound.Limit != "95" || bound.Seed != 2 {
+		t.Fatalf("bound alert: %+v", bound)
+	}
+	if delta.Kind != "delta" || delta.Rule != 0 || delta.Row != "A-N" || delta.PrevKey != "aaa1" || delta.Key != "aaa2" {
+		t.Fatalf("delta alert: %+v", delta)
+	}
+	base, moved := 91.9, 99.0
+	if delta.Value != canon((moved-base)/base) {
+		t.Fatalf("delta alert value %q", delta.Value)
+	}
+	if drift.Kind != "drift" || drift.Rule != 1 || drift.Column != "online" || drift.Value != "-40" || drift.Seed != 2 {
+		t.Fatalf("drift alert: %+v", drift)
+	}
+
+	// The summary surfaces every alert.
+	var s bytes.Buffer
+	if err := RenderSummary(&s, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.String(), "3 alerts") || !strings.Contains(s.String(), "past threshold") {
+		t.Fatalf("summary missing alerts:\n%s", s.String())
+	}
+}
+
+// TestAnalyzeZeroBaselineDelta pins the zero-to-nonzero convention: an
+// infinite relative change trips any maxRelDelta rule, and an exact
+// repeat never does.
+func TestAnalyzeZeroBaselineDelta(t *testing.T) {
+	dir := t.TempDir()
+	line := func(v string) []byte {
+		return []byte(`{"experiment":"figx","section":"§9","table":{"title":"t","columns":["k","n"],"rows":[["total","` + v + `"]]}}` + "\n")
+	}
+	if err := WriteArchive(dir, "aaa1", fixtureReq(1), line("0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteArchive(dir, "aaa2", fixtureReq(2), line("3")); err != nil {
+		t.Fatal(err)
+	}
+	exp, _ := ParseExpectations([]byte(`{"rules":[{"column":"n","maxRelDelta":1000}]}`))
+	runs, err := LoadArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(runs, exp)
+	if len(rep.Alerts) != 1 || rep.Alerts[0].Value != "+Inf" {
+		t.Fatalf("alerts: %+v", rep.Alerts)
+	}
+
+	// Identical values: delta 0, rel absent from JSON, no alert.
+	if err := WriteArchive(dir, "aaa2", fixtureReq(2), line("0")); err != nil {
+		t.Fatal(err)
+	}
+	runs, err = LoadArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = Analyze(runs, exp)
+	if len(rep.Alerts) != 0 {
+		t.Fatalf("exact repeat alerted: %+v", rep.Alerts)
+	}
+	if d := rep.Groups[0].Deltas[0]; d.Rel != "" || d.Delta != "0" {
+		t.Fatalf("zero-baseline delta: %+v", d)
+	}
+}

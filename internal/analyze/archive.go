@@ -1,0 +1,152 @@
+// Package analyze is the longitudinal analyze-only mode: the
+// collect-then-analyze split over prior run archives. A run archive is
+// the exact JSONL byte stream the run cache stores — one `<key>.jsonl`
+// per run plus a small `<key>.json` manifest carrying the canonical
+// core.RunRequest — persisted by both entry points (tcsb-experiments
+// -archive-dir, tcsb-server cache fills). The analyzer ingests an
+// archive directory, groups runs by canonical request shape (the
+// request with seed and concurrency knobs zeroed — repeated collection
+// runs of the same campaign), and computes cross-run and cross-epoch
+// deltas: per-experiment/per-column numeric diffs between consecutive
+// runs, per-epoch drift slopes inside timeline tables, and regression
+// alerts against pinned expectations (absolute bounds and
+// relative-change thresholds from a checked-in expectations.json).
+//
+// Everything the analyzer emits is deterministic: fixed grouping and
+// iteration order, canonical float rendering, byte-identical JSON and
+// summary output for identical archive sets — so an analyze re-run is
+// diffable, CI can cmp its output, and the alert stream doubles as a
+// perf/figure-trajectory guard richer than the allocation ratchet.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tcsb/internal/core"
+	"tcsb/internal/experiments"
+)
+
+// Run is one archived run: its content address, the canonical request
+// that produced it, the raw JSONL bytes (what the run cache would
+// store) and the re-ingested typed rows.
+type Run struct {
+	Key     string
+	Request core.RunRequest
+	Raw     []byte
+	Rows    []experiments.ParsedRow
+}
+
+// manifest is the `<key>.json` sidecar written next to each archived
+// JSONL stream.
+type manifest struct {
+	Key     string          `json:"key"`
+	Request core.RunRequest `json:"request"`
+}
+
+// ManifestRequest is the request as archived: the canonical request
+// with the concurrency knobs zeroed. Workers and Parallel are not part
+// of the cache key (output is byte-identical for every value), so they
+// must not fracture archive groups either.
+func ManifestRequest(req core.RunRequest) core.RunRequest {
+	req.Workers = 0
+	req.Parallel = 0
+	return req
+}
+
+// Shape is the grouping key for longitudinal analysis: the canonical
+// JSON of the request with seed and concurrency zeroed. Two runs share
+// a shape exactly when they are repeated collections of the same
+// campaign — same config, specs and selection, different seed.
+func Shape(req core.RunRequest) string {
+	req = ManifestRequest(req)
+	req.Seed = 0
+	b, err := json.Marshal(req)
+	if err != nil {
+		// RunRequest is a plain struct of scalars and strings;
+		// marshalling cannot fail.
+		panic(err)
+	}
+	return string(b)
+}
+
+// WriteArchive persists one run into dir: `<key>.jsonl` (the exact
+// rendered byte stream) then `<key>.json` (the manifest). Writes go
+// through a temp file and rename, and the manifest lands last, so a
+// torn write never leaves a manifest pointing at missing or partial
+// bytes. Re-archiving an existing key rewrites the identical content.
+func WriteArchive(dir, key string, req core.RunRequest, jsonl []byte) error {
+	if key == "" || key != filepath.Base(key) {
+		return fmt.Errorf("archive key %q is not a bare file name", key)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("archive dir: %w", err)
+	}
+	if err := writeAtomic(filepath.Join(dir, key+".jsonl"), jsonl); err != nil {
+		return err
+	}
+	mb, err := json.MarshalIndent(manifest{Key: key, Request: ManifestRequest(req)}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(dir, key+".json"), append(mb, '\n'))
+}
+
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadArchive reads every archived run in dir, keyed by its manifest,
+// in deterministic (key-sorted) order. A manifest whose key disagrees
+// with its file name, or whose JSONL sidecar is missing or unparsable,
+// is an error: archives are written atomically, so disagreement means
+// tampering or truncation, and silently skipping a run would skew
+// every delta downstream.
+func LoadArchive(dir string) ([]Run, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("archive dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	runs := make([]Run, 0, len(names))
+	for _, name := range names {
+		mb, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var m manifest
+		dec := json.NewDecoder(strings.NewReader(string(mb)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("manifest %s: %w", name, err)
+		}
+		if want := strings.TrimSuffix(name, ".json"); m.Key != want {
+			return nil, fmt.Errorf("manifest %s names key %q", name, m.Key)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, m.Key+".jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("archived run %s: %w", m.Key, err)
+		}
+		rows, err := experiments.ParseJSONL(strings.NewReader(string(raw)))
+		if err != nil {
+			return nil, fmt.Errorf("archived run %s: %w", m.Key, err)
+		}
+		runs = append(runs, Run{Key: m.Key, Request: m.Request, Raw: raw, Rows: rows})
+	}
+	return runs, nil
+}

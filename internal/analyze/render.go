@@ -1,0 +1,84 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tcsb/internal/report"
+)
+
+// RenderJSON writes the machine-readable report: indented JSON with
+// every slice non-nil, so identical archive sets render byte-identical
+// documents and CI can cmp two analyze runs directly.
+func RenderJSON(w io.Writer, rep *Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// shortKey abbreviates a content-address for the human summary.
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+// RenderSummary writes the human-readable report: one group header per
+// request shape, then its runs, top deltas and drifts as text tables,
+// then every alert. Deterministic for identical inputs — it renders
+// only from the (already ordered) report.
+func RenderSummary(w io.Writer, rep *Report) error {
+	fmt.Fprintf(w, "analyzed %d archived runs in %d groups against %d rules: %d alerts\n",
+		rep.Runs, len(rep.Groups), rep.Rules, len(rep.Alerts))
+	for gi, g := range rep.Groups {
+		fmt.Fprintf(w, "\n=== group %d: %s\n", gi, g.Shape)
+
+		runs := &report.Table{Title: fmt.Sprintf("runs (%d)", len(g.Runs)), Columns: []string{"seed", "key"}}
+		for _, r := range g.Runs {
+			runs.AddRow(r.Seed, shortKey(r.Key))
+		}
+		fmt.Fprintln(w, runs.String())
+
+		if len(g.Deltas) > 0 {
+			dt := &report.Table{
+				Title:   fmt.Sprintf("cross-run deltas (%d)", len(g.Deltas)),
+				Columns: []string{"experiment", "row", "column", "from", "to", "delta", "rel"},
+			}
+			for _, d := range g.Deltas {
+				rel := d.Rel
+				if rel == "" {
+					rel = "-"
+				}
+				dt.AddRow(d.Experiment, d.Row, d.Column, d.From+d.Unit, d.To+d.Unit, d.Delta, rel)
+			}
+			fmt.Fprintln(w, dt.String())
+		}
+		if len(g.Drifts) > 0 {
+			rt := &report.Table{
+				Title:   fmt.Sprintf("epoch drift slopes (%d)", len(g.Drifts)),
+				Columns: []string{"experiment", "column", "seed", "points", "slope/epoch"},
+			}
+			for _, d := range g.Drifts {
+				rt.AddRow(d.Experiment, d.Column, d.Seed, d.Points, d.Slope)
+			}
+			fmt.Fprintln(w, rt.String())
+		}
+	}
+	if len(rep.Alerts) > 0 {
+		fmt.Fprintf(w, "\n=== alerts\n")
+		at := &report.Table{
+			Title:   fmt.Sprintf("triggered expectations (%d)", len(rep.Alerts)),
+			Columns: []string{"kind", "rule", "detail"},
+		}
+		for _, a := range rep.Alerts {
+			at.AddRow(a.Kind, a.Rule, a.Detail)
+		}
+		fmt.Fprintln(w, at.String())
+	}
+	return nil
+}

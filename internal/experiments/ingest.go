@@ -1,0 +1,97 @@
+package experiments
+
+// JSONL re-ingestion: the inverse of RenderJSONL. The analyze-only
+// entry points (tcsb-experiments -analyze, tcsb-server /v1/analyze)
+// consume prior run archives — the exact JSONL byte streams the run
+// cache stores — and need the rows back as typed tables to compute
+// cross-run deltas. ParseJSONL is pinned round-trip-exact against
+// RenderJSONL: parse then re-render reproduces the input bytes, so an
+// archive can be re-ingested and re-emitted without drift.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tcsb/internal/report"
+)
+
+// ParsedRow is one re-ingested JSONL line: a rendered table with the
+// experiment tags RenderJSONL wrote alongside it.
+type ParsedRow struct {
+	Experiment string
+	Section    string
+	WhatIf     []string
+	Timeline   string
+	Table      *report.Table
+}
+
+// jsonlLine mirrors the anonymous struct RenderJSONL marshals; keeping
+// the two in field-order lockstep is what makes the round trip exact.
+type jsonlLine struct {
+	Experiment string   `json:"experiment"`
+	Section    string   `json:"section"`
+	WhatIf     []string `json:"whatif,omitempty"`
+	Timeline   string   `json:"timeline,omitempty"`
+	Table      struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	} `json:"table"`
+}
+
+// ParseJSONL reads a RenderJSONL stream back into typed rows. Decoding
+// is strict (unknown fields are an error): an archive that does not
+// parse was not written by this engine's renderer and must not be
+// silently analyzed.
+func ParseJSONL(r io.Reader) ([]ParsedRow, error) {
+	var out []ParsedRow
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var l jsonlLine
+		if err := dec.Decode(&l); err != nil {
+			return nil, fmt.Errorf("jsonl line %d: %w", lineNo, err)
+		}
+		if l.Experiment == "" || len(l.Table.Columns) == 0 {
+			return nil, fmt.Errorf("jsonl line %d: missing experiment name or table columns", lineNo)
+		}
+		out = append(out, ParsedRow{
+			Experiment: l.Experiment,
+			Section:    l.Section,
+			WhatIf:     l.WhatIf,
+			Timeline:   l.Timeline,
+			Table: &report.Table{
+				Title:   l.Table.Title,
+				Columns: l.Table.Columns,
+				Rows:    l.Table.Rows,
+			},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("jsonl: %w", err)
+	}
+	return out, nil
+}
+
+// Result converts a parsed row back into a single-table Result.
+// RenderJSONL emits one line per table, so rendering the converted
+// results reproduces the original stream byte for byte.
+func (p ParsedRow) Result() Result {
+	return Result{
+		Experiment: Experiment{Name: p.Experiment, Section: p.Section},
+		Tables:     []*report.Table{p.Table},
+		WhatIf:     p.WhatIf,
+		Timeline:   p.Timeline,
+	}
+}

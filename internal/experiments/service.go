@@ -48,6 +48,14 @@ type Resolved struct {
 	// Key is the content-addressed cache key (core.RunRequest.Key over
 	// the canonical request and resolved config).
 	Key string
+	// Parallel bounds concurrent experiment derivations during Execute.
+	// Resolve seeds it from Req.Parallel; an entry point may raise it
+	// for its own scheduling without touching Req — the canonical
+	// request is what gets echoed back to clients and archived, and
+	// must never grow fields the client didn't send. (Like Workers,
+	// Parallel is not part of Key: output is byte-identical for every
+	// value.)
+	Parallel int
 }
 
 // Resolve validates a run request and resolves it against every
@@ -160,6 +168,7 @@ func Resolve(req core.RunRequest) (*Resolved, error) {
 		Mode:          mode,
 		Interventions: interventions,
 		Schedule:      schedule,
+		Parallel:      req.Parallel,
 	}
 	res.Key = req.Key(cfg)
 	return res, nil
@@ -182,7 +191,7 @@ func (p Progress) printf(format string, args ...any) {
 // for every Workers and Parallel value, which is what makes Key-indexed
 // caching of the rendered output exact.
 func (res *Resolved) Execute(progress Progress) ([]Result, error) {
-	parallel := res.Req.Parallel
+	parallel := res.Parallel
 	if parallel < 1 {
 		parallel = 1
 	}

@@ -11,10 +11,14 @@
 // Concurrent requests for the same key are coalesced single-flight:
 // the first computes, later arrivals block on its completion and share
 // the result, so a thundering herd of identical sweeps runs one
-// campaign, not N.
+// campaign, not N. The computation itself runs detached from any
+// single requester: cancelling a waiter's context abandons *that
+// waiter's* wait, never the flight, so a disconnected client can't
+// poison the result for coalesced followers that are still live.
 package runcache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -33,10 +37,12 @@ type Cache struct {
 	misses    uint64
 	coalesced uint64
 	evictions uint64
+	primed    uint64
 	bytes     int64
 }
 
-// flight is one in-progress computation; followers wait on done.
+// flight is one in-progress computation; waiters (the requester that
+// started it included) block on done.
 type flight struct {
 	done chan struct{}
 	val  []byte
@@ -68,31 +74,54 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return v, ok
 }
 
-// GetOrCompute returns the bytes stored under key, computing and
+// GetOrCompute is GetOrComputeCtx with an uncancellable wait.
+func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	return c.GetOrComputeCtx(context.Background(), key, compute)
+}
+
+// GetOrComputeCtx returns the bytes stored under key, computing and
 // storing them on a miss. hit reports whether the bytes came from the
 // cache (a coalesced follower of an in-flight computation counts as a
-// hit: it paid no compute). Errors are returned to every waiter and
-// never cached, so a transient failure does not poison the key.
-func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+// hit: it paid no compute). Compute errors are returned to every
+// waiter and never cached, so a transient failure does not poison the
+// key.
+//
+// The computation runs in its own goroutine and always completes: ctx
+// gates only this caller's blocking wait. A caller whose context is
+// cancelled gets ctx.Err() back, but the flight keeps running and its
+// result is stored and delivered to every other waiter — the flight
+// belongs to the cache, not to the requester that happened to start it.
+func (c *Cache) GetOrComputeCtx(ctx context.Context, key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
 	c.mu.Lock()
 	if v, ok := c.entries[key]; ok {
 		c.hits++
 		c.mu.Unlock()
 		return v, true, nil
 	}
-	if f, ok := c.inflight[key]; ok {
+	f, inflight := c.inflight[key]
+	if inflight {
 		c.coalesced++
-		c.mu.Unlock()
-		<-f.done
-		return f.val, true, f.err
+	} else {
+		f = &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.misses++
 	}
-	f := &flight{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.misses++
 	c.mu.Unlock()
 
-	f.val, f.err = compute()
+	if !inflight {
+		go c.runFlight(key, f, compute)
+	}
+	select {
+	case <-f.done:
+		return f.val, inflight, f.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
 
+// runFlight executes one detached computation and publishes its result.
+func (c *Cache) runFlight(key string, f *flight, compute func() ([]byte, error)) {
+	f.val, f.err = compute()
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if f.err == nil {
@@ -100,10 +129,11 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (val []
 	}
 	c.mu.Unlock()
 	close(f.done)
-	return f.val, false, f.err
 }
 
-// store inserts under c.mu, evicting FIFO past the cap.
+// store inserts under c.mu, evicting FIFO past the cap. A key that is
+// already stored is a no-op: the bytes are content-addressed, so a
+// duplicate insert could only carry the identical value.
 func (c *Cache) store(key string, val []byte) {
 	if _, ok := c.entries[key]; ok {
 		return
@@ -120,12 +150,28 @@ func (c *Cache) store(key string, val []byte) {
 	}
 }
 
-// Put stores bytes under key directly (primes the cache without a
-// computation, e.g. from a persisted archive).
+// Put stores bytes under key directly, without a computation.
+// Duplicate keys are a no-op.
 func (c *Cache) Put(key string, val []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.store(key, val)
+}
+
+// Prime is Put for archive restoration: it stores bytes under key and
+// counts the insert in the primed stat, so a service restarted over a
+// persisted archive can report how much of its cache was rehydrated
+// (and a smoke test can assert misses==0 after one). It reports
+// whether the key was actually stored (false: already present).
+func (c *Cache) Prime(key string, val []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.store(key, val)
+	c.primed++
+	return true
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -136,6 +182,7 @@ type Stats struct {
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
 	Evictions uint64 `json:"evictions"`
+	Primed    uint64 `json:"primed"`
 }
 
 // Stats returns the current counters.
@@ -149,11 +196,12 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses,
 		Coalesced: c.coalesced,
 		Evictions: c.evictions,
+		Primed:    c.primed,
 	}
 }
 
 // String renders the counters for logs.
 func (s Stats) String() string {
-	return fmt.Sprintf("entries=%d bytes=%d hits=%d misses=%d coalesced=%d evictions=%d",
-		s.Entries, s.Bytes, s.Hits, s.Misses, s.Coalesced, s.Evictions)
+	return fmt.Sprintf("entries=%d bytes=%d hits=%d misses=%d coalesced=%d evictions=%d primed=%d",
+		s.Entries, s.Bytes, s.Hits, s.Misses, s.Coalesced, s.Evictions, s.Primed)
 }
